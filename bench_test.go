@@ -1,0 +1,221 @@
+// Benchmarks: one per experiment in DESIGN.md's index (E01–E14). Each
+// benchmark runs a scaled-down instance of the corresponding experiment
+// and reports its headline metric via b.ReportMetric, so `go test
+// -bench=.` both times the harness and regenerates the paper-claim
+// numbers in one pass. The full-size sweeps are produced by cmd/repro.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func reportAll(b *testing.B, metrics map[string]float64, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		if v, ok := metrics[k]; ok {
+			// Benchmark units must not contain whitespace.
+			b.ReportMetric(v, strings.ReplaceAll(k, " ", "_"))
+		}
+	}
+}
+
+func BenchmarkE01InfiniteRegret(b *testing.B) {
+	opt := experiment.E01Options{
+		Ms: []int{2, 10}, Betas: []float64{0.6}, HorizonScale: 4, Reps: 10, Seed: 1,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E01InfiniteRegret(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "regret/m=10/beta=0.6000", "bound/m=10/beta=0.6000")
+}
+
+func BenchmarkE02BestOptionMass(b *testing.B) {
+	opt := experiment.E02Options{
+		Gaps: []float64{0.4}, Beta: 0.55, M: 5, HorizonScale: 4, Reps: 10, Seed: 2,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E02BestOptionMass(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "mass/gap=0.40", "bound/gap=0.40")
+}
+
+func BenchmarkE03FiniteRegret(b *testing.B) {
+	opt := experiment.E03Options{
+		Ms: []int{2}, Ns: []int{1000, 1000000}, Beta: 0.6, HorizonScale: 4, Reps: 5, Seed: 3,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E03FiniteRegret(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "regret/m=2/N=1000000", "bound/m=2")
+}
+
+func BenchmarkE04Coupling(b *testing.B) {
+	opt := experiment.E04Options{
+		Ns: []int{10000, 1000000}, Steps: 8, Beta: 0.7, Mu: 0.05, Reps: 5, Seed: 4,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E04Coupling(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "dev/N=1000000/t=8", "dev/N=10000/t=8")
+}
+
+func BenchmarkE05Ablation(b *testing.B) {
+	opt := experiment.E05Options{N: 2000, M: 5, Beta: 0.7, Steps: 400, Reps: 5, Seed: 5}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E05Ablation(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "q1/full dynamics", "full_minus_best_ablation")
+}
+
+func BenchmarkE06Epochs(b *testing.B) {
+	opt := experiment.E06Options{M: 5, Beta: 0.6, EpochScale: 2, Epochs: 4, Reps: 10, Seed: 6}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E06Epochs(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "regret/one-epoch", "regret/long", "bound")
+}
+
+func BenchmarkE07Baselines(b *testing.B) {
+	opt := experiment.E07Options{M: 10, N: 1000, Beta: 0.6, Horizon: 1000, Reps: 5, Seed: 7}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E07Baselines(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "regret/group", "regret/hedge", "regret/UCB1")
+}
+
+func BenchmarkE08WordOfMouth(b *testing.B) {
+	opt := experiment.E08Options{N: 2000, ShockScale: 1, Steps: 300, Reps: 5, Seed: 8}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E08WordOfMouth(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "alpha", "beta", "q1")
+}
+
+func BenchmarkE09Investors(b *testing.B) {
+	opt := experiment.E09Options{
+		N: 2000, M: 4, Eta1: 0.65, Betas: []float64{0.6, 0.65}, Steps: 1500, Reps: 5, Seed: 9,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E09Investors(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "q1/beta=0.65", "regret/beta=0.65")
+}
+
+func BenchmarkE10Topology(b *testing.B) {
+	opt := experiment.E10Options{N: 200, Beta: 0.7, Mu: 0.02, Steps: 400, Target: 0.6, Reps: 3, Seed: 10}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E10Topology(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "share/complete", "share/ring", "hit/ring")
+}
+
+func BenchmarkE11Drift(b *testing.B) {
+	opt := experiment.E11Options{
+		N: 1000, M: 4, Beta: 0.7, Steps: 1000,
+		Sigmas: []float64{0, 0.02}, Period: 250, Reps: 5, Seed: 11,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E11Drift(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "dynregret/drifting sigma=0.000", "dynregret/drifting sigma=0.020")
+}
+
+func BenchmarkE12MuSweep(b *testing.B) {
+	opt := experiment.E12Options{N: 200, M: 5, Gap: 0.05, Beta: 0.7, Steps: 1000, Reps: 10, Seed: 12}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E12MuSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "fixation/mu=0.0000", "q1/mu=1.0000")
+}
+
+func BenchmarkE13Concentration(b *testing.B) {
+	opt := experiment.E13Options{M: 5, Ns: []int{10000}, Mu: 0.1, Beta: 0.7, Reps: 1000, Seed: 13}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E13Concentration(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "p99_stage1/N=10000", "violations1/N=10000")
+}
+
+func BenchmarkE14Protocol(b *testing.B) {
+	opt := experiment.E14Options{
+		Nodes: 300, Beta: 0.7, Mu: 0.02, Steps: 400,
+		Losses: []float64{0, 0.1}, Reps: 3, Seed: 14,
+	}
+	var res *experiment.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.E14Protocol(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, res.Metrics, "share/loss=0.00", "share/loss=0.10", "msgs/loss=0.00")
+}

@@ -1,0 +1,148 @@
+// Command netlearn runs the network-restricted social-learning dynamics
+// on a chosen topology and prints convergence statistics.
+//
+// Example:
+//
+//	netlearn -topology ws -n 400 -qualities 0.9,0.4,0.4 -steps 1000 -trace 200
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netlearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("netlearn", flag.ContinueOnError)
+	var (
+		topology  = fs.String("topology", "complete", "complete | ring | torus | star | er | ws | ba")
+		n         = fs.Int("n", 400, "number of nodes")
+		qualities = fs.String("qualities", "0.9,0.4", "comma-separated option qualities")
+		beta      = fs.Float64("beta", 0.7, "adoption probability on a good signal")
+		mu        = fs.Float64("mu", 0.02, "exploration rate")
+		steps     = fs.Int("steps", 1000, "number of time steps")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		traceEv   = fs.Int("trace", 0, "print shares every k steps (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *steps <= 0 {
+		return errors.New("steps must be positive")
+	}
+	etas, err := parseQualities(*qualities)
+	if err != nil {
+		return err
+	}
+	g, err := buildTopology(*topology, *n, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	grp, err := core.New(core.Config{
+		Network:   g,
+		Qualities: etas,
+		Beta:      *beta,
+		Mu:        *mu,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	apl := g.AveragePathLength()
+	fmt.Fprintf(out, "topology=%s nodes=%d edges=%d avg-degree=%.2f clustering=%.3f avg-path=%.2f\n",
+		*topology, g.N(), g.Edges(), g.AvgDegree(), g.ClusteringCoefficient(), apl)
+
+	for i := 0; i < *steps; i++ {
+		if err := grp.Step(); err != nil {
+			return err
+		}
+		if *traceEv > 0 && grp.T()%*traceEv == 0 {
+			fmt.Fprintf(out, "t=%-6d shares=%s\n", grp.T(), formatVec(grp.Popularity()))
+		}
+	}
+	best := 0.0
+	for _, q := range etas {
+		if q > best {
+			best = q
+		}
+	}
+	fmt.Fprintf(out, "steps=%d final shares=%s best-option share=%.4f\n",
+		*steps, formatVec(grp.Popularity()), grp.Popularity()[argmax(etas)])
+	return nil
+}
+
+func buildTopology(name string, n int, r *rng.RNG) (*graph.Graph, error) {
+	switch name {
+	case "complete":
+		return graph.Complete(n)
+	case "ring":
+		return graph.Ring(n)
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Torus(side, side)
+	case "star":
+		return graph.Star(n)
+	case "er":
+		return graph.ErdosRenyi(n, 8/float64(n), r)
+	case "ws":
+		return graph.WattsStrogatz(n, 3, 0.1, r)
+	case "ba":
+		return graph.BarabasiAlbert(n, 3, r)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func parseQualities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse quality %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no qualities given")
+	}
+	return out, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func formatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'f', 4, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

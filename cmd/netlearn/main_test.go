@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunAllTopologies(t *testing.T) {
+	t.Parallel()
+
+	for _, topo := range []string{"complete", "ring", "torus", "star", "er", "ws", "ba"} {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			t.Parallel()
+			var b strings.Builder
+			err := run([]string{"-topology", topo, "-n", "64", "-steps", "100"}, &b)
+			if err != nil {
+				t.Fatalf("%s: %v", topo, err)
+			}
+			out := b.String()
+			if !strings.Contains(out, "topology="+topo) || !strings.Contains(out, "best-option share=") {
+				t.Errorf("%s: incomplete output:\n%s", topo, out)
+			}
+		})
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-n", "50", "-steps", "60", "-trace", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\nt="); got != 3 {
+		t.Errorf("%d trace lines, want 3", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	cases := [][]string{
+		{"-topology", "moebius"},
+		{"-steps", "0"},
+		{"-qualities", "zzz"},
+		{"-beta", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestBuildTopologyDimensions(t *testing.T) {
+	t.Parallel()
+
+	g, err := buildTopology("torus", 50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus rounds up to the next square.
+	if g.N() != 64 {
+		t.Errorf("torus nodes = %d, want 64", g.N())
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	t.Parallel()
+
+	if got := argmax([]float64{0.2, 0.9, 0.5}); got != 1 {
+		t.Errorf("argmax = %d", got)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	// -list prints to stdout; just exercise the path.
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Error("unknown experiment ID accepted")
+	}
+}
+
+func TestRunSubsetWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "E02", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e02.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV written")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Command sociallearn runs one configured social-learning simulation
+// and prints the trajectory and regret report.
+//
+// Example:
+//
+//	sociallearn -n 10000 -qualities 0.9,0.5,0.5 -beta 0.7 -steps 1000 -trace 100
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sociallearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sociallearn", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 1000, "population size (0 = infinite-population process)")
+		qualities = fs.String("qualities", "0.9,0.5", "comma-separated option qualities eta_j")
+		beta      = fs.Float64("beta", 0.7, "adoption probability on a good signal")
+		alpha     = fs.Float64("alpha", -1, "adoption probability on a bad signal (-1 = 1-beta)")
+		mu        = fs.Float64("mu", -1, "exploration rate (-1 = delta^2/6)")
+		steps     = fs.Int("steps", 1000, "number of time steps")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		engine    = fs.String("engine", "aggregate", "finite engine: aggregate | agent")
+		traceFlag = fs.Int("trace", 0, "print popularity every k steps (0 = off)")
+		outPath   = fs.String("out", "", "write a per-step CSV time series to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	etas, err := parseQualities(*qualities)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		N:         *n,
+		Qualities: etas,
+		Beta:      *beta,
+		Seed:      *seed,
+	}
+	if *alpha >= 0 {
+		cfg.Alpha = *alpha
+		if *alpha == 0 {
+			cfg.AlphaIsZero = true
+		}
+	}
+	if *mu >= 0 {
+		cfg.Mu = *mu
+		if *mu == 0 {
+			cfg.MuIsZero = true
+		}
+	}
+	switch *engine {
+	case "aggregate":
+		cfg.Engine = core.EngineAggregate
+	case "agent":
+		cfg.Engine = core.EngineAgent
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if *steps <= 0 {
+		return errors.New("steps must be positive")
+	}
+
+	g, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "social-learning dynamics: N=%d m=%d beta=%.3f alpha=%.3f mu=%.4f seed=%d\n",
+		*n, len(etas), g.Rule().Beta(), g.Rule().Alpha(), g.Mu(), *seed)
+	if b, err := core.TheoremBounds(len(etas), g.Rule().Beta()); err == nil {
+		fmt.Fprintf(out, "bounds: delta=%.4f minT=%d regret<=%.4f (infinite) / %.4f (finite)\n",
+			b.Delta, b.MinHorizon, b.InfiniteRegret, b.FiniteRegret)
+	}
+
+	var rec *trace.Recorder
+	if *outPath != "" {
+		cols := append([]string{"t", "group_reward"}, trace.VectorColumns("q", len(etas))...)
+		rec, err = trace.NewRecorder(1, cols...)
+		if err != nil {
+			return err
+		}
+	}
+
+	cumReward := 0.0
+	row := make([]float64, 2+len(etas))
+	for i := 0; i < *steps; i++ {
+		if err := g.Step(); err != nil {
+			return err
+		}
+		cumReward += g.GroupReward()
+		if rec != nil {
+			row[0] = float64(g.T())
+			row[1] = g.GroupReward()
+			copy(row[2:], g.Popularity())
+			if err := rec.Record(row...); err != nil {
+				return err
+			}
+		}
+		if *traceFlag > 0 && g.T()%*traceFlag == 0 {
+			fmt.Fprintf(out, "t=%-6d Q=%s\n", g.T(), formatVec(g.Popularity()))
+		}
+	}
+	if rec != nil {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	avg := cumReward / float64(*steps)
+	best := 0.0
+	for _, q := range etas {
+		if q > best {
+			best = q
+		}
+	}
+	fmt.Fprintf(out, "steps=%d avg group reward=%.4f regret=%.4f final Q=%s\n",
+		*steps, avg, best-avg, formatVec(g.Popularity()))
+	return nil
+}
+
+func parseQualities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse quality %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no qualities given")
+	}
+	return out, nil
+}
+
+func formatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'f', 4, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-steps", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"social-learning dynamics", "bounds:", "avg group reward"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceAndEngines(t *testing.T) {
+	t.Parallel()
+
+	for _, engine := range []string{"aggregate", "agent"} {
+		var b strings.Builder
+		err := run([]string{"-steps", "30", "-trace", "10", "-engine", engine, "-n", "100"}, &b)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if got := strings.Count(b.String(), "\nt="); got != 3 {
+			t.Errorf("engine %s: %d trace lines, want 3", engine, got)
+		}
+	}
+}
+
+func TestRunInfinite(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	if err := run([]string{"-n", "0", "-steps", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	t.Parallel()
+
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var b strings.Builder
+	if err := run([]string{"-steps", "25", "-out", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 26 { // header + 25 steps
+		t.Fatalf("CSV has %d lines, want 26", len(lines))
+	}
+	if lines[0] != "t,group_reward,q0,q1" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+
+	var b strings.Builder
+	cases := [][]string{
+		{"-steps", "0"},
+		{"-engine", "warp"},
+		{"-qualities", "abc"},
+		{"-beta", "1.5"},
+		{"-qualities", "0.9,1.7"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseQualities(t *testing.T) {
+	t.Parallel()
+
+	got, err := parseQualities(" 0.9, 0.5 ,0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.9 || got[2] != 0.1 {
+		t.Errorf("parseQualities = %v", got)
+	}
+	if _, err := parseQualities("x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFormatVec(t *testing.T) {
+	t.Parallel()
+
+	if got := formatVec([]float64{0.5, 0.25}); got != "[0.5000 0.2500]" {
+		t.Errorf("formatVec = %q", got)
+	}
+}

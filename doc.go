@@ -1,0 +1,11 @@
+// Package repro is a production-quality Go reproduction of
+// "A Distributed Learning Dynamics in Social Groups" (Celis, Krafft,
+// Vishnoi; PODC 2017, arXiv:1705.03414).
+//
+// The library lives under internal/: start with internal/core for the
+// public simulation API, internal/experiment for the per-claim benchmark
+// harness (experiments E01–E14 of DESIGN.md), and the cmd/ and examples/
+// directories for runnable programs. bench_test.go in this directory
+// hosts one benchmark per experiment plus the ablation benches for the
+// design choices called out in DESIGN.md.
+package repro

@@ -1,0 +1,88 @@
+// Fixation: why the paper insists on µ > 0. For small populations the
+// two-option dynamics is an exactly solvable Markov chain
+// (internal/markov). With µ = 0 the states "everyone on option 1" and
+// "everyone on option 2" are absorbing, and this example computes — by
+// solving the absorption linear system, no simulation — the probability
+// that the crowd locks onto the *worse* option forever, as a function
+// of the population size and the quality gap. With µ > 0 there is no
+// absorption at all: the example prints the stationary distribution's
+// mass near the best option instead.
+//
+//	go run ./examples/fixation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/markov"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const beta = 0.7 // adoption sharpness; alpha = 1-beta
+
+	fmt.Println("P[crowd fixates on the WORSE option | mu=0], from a 50/50 start")
+	fmt.Println("N      gap=0.05  gap=0.10  gap=0.20  gap=0.40")
+	for _, n := range []int{10, 20, 50, 100, 200} {
+		fmt.Printf("%-6d", n)
+		for _, gap := range []float64{0.05, 0.10, 0.20, 0.40} {
+			chain, err := markov.New(markov.Config{
+				N: n, Eta1: 0.5 + gap/2, Eta2: 0.5 - gap/2,
+				Mu: 0, Alpha: 1 - beta, Beta: beta,
+			})
+			if err != nil {
+				return err
+			}
+			wrong, err := chain.WrongFixationProbability()
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %-9.4f", wrong)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("expected steps to fixation (either option), gap=0.10:")
+	for _, n := range []int{10, 50, 200} {
+		chain, err := markov.New(markov.Config{
+			N: n, Eta1: 0.55, Eta2: 0.45, Mu: 0, Alpha: 1 - beta, Beta: beta,
+		})
+		if err != nil {
+			return err
+		}
+		times, err := chain.ExpectedAbsorptionTimes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("N=%-5d E[T_absorb | start 50/50] = %.1f steps\n", n, times[n/2])
+	}
+
+	fmt.Println()
+	fmt.Println("and with mu = delta^2/6 > 0 there is no absorption at all;")
+	fmt.Println("stationary mass on the best option's side (k > N/2), gap=0.10:")
+	for _, n := range []int{50, 200} {
+		chain, err := markov.New(markov.Config{
+			N: n, Eta1: 0.55, Eta2: 0.45, Mu: 0.05, Alpha: 1 - beta, Beta: beta,
+		})
+		if err != nil {
+			return err
+		}
+		pi, err := chain.StationaryDistribution(200000, 1e-12)
+		if err != nil {
+			return err
+		}
+		mass := 0.0
+		for k := n/2 + 1; k <= n; k++ {
+			mass += pi[k]
+		}
+		fmt.Printf("N=%-5d stationary P[k > N/2] = %.4f\n", n, mass)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Cross-module integration tests: these exercise full pipelines that no
+// single package covers — finite-vs-infinite agreement through the
+// public API, simulator-vs-protocol consistency, and the experiment
+// harness end to end.
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/experiment"
+	"repro/internal/graph"
+	"repro/internal/netpop"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// TestFiniteApproachesInfiniteWithN checks the law-level convergence
+// behind Lemma 4.5 through the public API: the mean popularity of the
+// finite dynamics at a fixed small time approaches the infinite
+// process's mean as N grows.
+func TestFiniteApproachesInfiniteWithN(t *testing.T) {
+	t.Parallel()
+
+	const (
+		steps = 10
+		reps  = 60
+		beta  = 0.7
+	)
+	qualities := []float64{0.9, 0.4}
+
+	meanQ1 := func(n int) float64 {
+		var s stats.Summary
+		for rep := 0; rep < reps; rep++ {
+			g, err := core.New(core.Config{
+				N: n, Qualities: qualities, Beta: beta,
+				Seed: uint64(1000*n + rep),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep2, err := g.Run(steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Add(rep2.Popularity[0])
+		}
+		return s.Mean()
+	}
+	var inf stats.Summary
+	for rep := 0; rep < reps; rep++ {
+		g, err := core.New(core.Config{
+			Qualities: qualities, Beta: beta, Seed: uint64(77 + rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := g.Run(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf.Add(rep2.Popularity[0])
+	}
+
+	gapSmall := math.Abs(meanQ1(50) - inf.Mean())
+	gapLarge := math.Abs(meanQ1(100000) - inf.Mean())
+	if gapLarge > 0.05 {
+		t.Errorf("N=10^5 mean Q1 differs from infinite process by %v", gapLarge)
+	}
+	if gapLarge > gapSmall+0.02 {
+		t.Errorf("agreement did not improve with N: N=50 gap %v, N=10^5 gap %v", gapSmall, gapLarge)
+	}
+}
+
+// TestProtocolMatchesNetpopOnCompleteGraph: the message-passing protocol
+// and the netpop dynamics on the complete graph implement the same lazy
+// process; their long-run concentrations must agree.
+func TestProtocolMatchesNetpopOnCompleteGraph(t *testing.T) {
+	t.Parallel()
+
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var netShare, protoShare stats.Summary
+	for rep := 0; rep < 4; rep++ {
+		seed := uint64(300 + rep)
+
+		g, err := graph.Complete(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := netpop.New(netpop.Config{Graph: g, Mu: 0.02, Rule: rule, Env: environ, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netpop.Run(d, 300); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+			sum += d.Fractions()[0]
+		}
+		netShare.Add(sum / 100)
+
+		environ2, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := protocol.New(protocol.Config{
+			Nodes: 150, Mu: 0.02, Rule: rule, Env: environ2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := protocol.Run(s, 300); err != nil {
+			t.Fatal(err)
+		}
+		sum = 0.0
+		for i := 0; i < 100; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			sum += s.Fractions()[0]
+		}
+		protoShare.Add(sum / 100)
+	}
+	if diff := math.Abs(netShare.Mean() - protoShare.Mean()); diff > 0.15 {
+		t.Errorf("netpop %v vs protocol %v: differ by %v", netShare.Mean(), protoShare.Mean(), diff)
+	}
+}
+
+// TestExperimentTablesRender runs each registered experiment's table
+// through the text renderer and CSV writer — the full harness path used
+// by cmd/repro — at the small options exercised in package tests.
+func TestExperimentTablesRender(t *testing.T) {
+	t.Parallel()
+
+	res, err := experiment.E02BestOptionMass(experiment.E02Options{
+		Gaps: []float64{0.4}, Beta: 0.55, M: 3, HorizonScale: 2, Reps: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, csv strings.Builder
+	if err := res.Table.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Table.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "E02") {
+		t.Error("rendered table missing title")
+	}
+	if !strings.HasPrefix(csv.String(), "gap,") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+}
+
+// TestCoreDeterministicEndToEnd: identical configs reproduce identical
+// trajectories through every layer.
+func TestCoreDeterministicEndToEnd(t *testing.T) {
+	t.Parallel()
+
+	mk := func() []float64 {
+		g, err := core.New(core.Config{
+			N: 5000, Qualities: []float64{0.8, 0.5, 0.3}, Beta: 0.65, Seed: 424242,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := g.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Popularity
+	}
+	a, b := mk(), mk()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("end-to-end nondeterminism: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestAllRegisteredExperimentTitlesMentionPaperAnchors: every experiment
+// advertises which part of the paper it reproduces.
+func TestAllRegisteredExperimentTitlesMentionPaperAnchors(t *testing.T) {
+	t.Parallel()
+
+	anchors := []string{"Theorem", "Lemma", "Section", "Proposition", "Conclusion", "ex."}
+	for _, spec := range experiment.Registry() {
+		found := false
+		for _, a := range anchors {
+			if strings.Contains(spec.Title, a) {
+				found = true
+				break
+			}
+		}
+		if !found && spec.ID != "E07" { // E07's anchor is in its table note
+			t.Errorf("%s title %q lacks a paper anchor", spec.ID, spec.Title)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package bandit implements single-agent stochastic multi-armed-bandit
+// baselines: ε-greedy, UCB1, and Thompson sampling.
+//
+// The paper's conclusion observes that while an individual in the social
+// dynamics is "effectively solving a stochastic multi-armed bandit
+// problem", the population as a whole solves a full-information problem.
+// These baselines quantify the contrast: an isolated agent pulls one arm
+// per step and sees only that arm's reward, whereas each member of the
+// social group benefits from the crowd's implicit aggregation.
+package bandit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// ErrBadConfig reports invalid bandit parameters.
+var ErrBadConfig = errors.New("bandit: invalid config")
+
+// Policy selects arms and learns from own-arm rewards only.
+type Policy interface {
+	// Select returns the arm to pull this step.
+	Select(r *rng.RNG) int
+	// Update records the binary reward of the pulled arm.
+	Update(arm int, reward float64) error
+	// Arms returns the number of arms.
+	Arms() int
+}
+
+// counts is shared bookkeeping for count-based policies.
+type counts struct {
+	pulls []int
+	sums  []float64
+	total int
+}
+
+func newCounts(m int) counts {
+	return counts{pulls: make([]int, m), sums: make([]float64, m)}
+}
+
+func (c *counts) update(arm int, reward float64) error {
+	if arm < 0 || arm >= len(c.pulls) {
+		return fmt.Errorf("%w: arm %d of %d", ErrBadConfig, arm, len(c.pulls))
+	}
+	if math.IsNaN(reward) || reward < 0 || reward > 1 {
+		return fmt.Errorf("%w: reward %v", ErrBadConfig, reward)
+	}
+	c.pulls[arm]++
+	c.sums[arm] += reward
+	c.total++
+	return nil
+}
+
+func (c *counts) mean(arm int) float64 {
+	if c.pulls[arm] == 0 {
+		return 0
+	}
+	return c.sums[arm] / float64(c.pulls[arm])
+}
+
+// EpsilonGreedy explores uniformly with probability Eps and otherwise
+// exploits the empirical best arm.
+type EpsilonGreedy struct {
+	eps float64
+	c   counts
+}
+
+var _ Policy = (*EpsilonGreedy)(nil)
+
+// NewEpsilonGreedy validates parameters and returns the policy.
+func NewEpsilonGreedy(m int, eps float64) (*EpsilonGreedy, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: m=%d", ErrBadConfig, m)
+	}
+	if math.IsNaN(eps) || eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("%w: eps=%v", ErrBadConfig, eps)
+	}
+	return &EpsilonGreedy{eps: eps, c: newCounts(m)}, nil
+}
+
+// Arms returns the number of arms.
+func (e *EpsilonGreedy) Arms() int { return len(e.c.pulls) }
+
+// Select implements Policy.
+func (e *EpsilonGreedy) Select(r *rng.RNG) int {
+	if r.Bernoulli(e.eps) {
+		return r.Intn(len(e.c.pulls))
+	}
+	// Pull each arm once before exploiting.
+	for arm, n := range e.c.pulls {
+		if n == 0 {
+			return arm
+		}
+	}
+	best := 0
+	bestMean := e.c.mean(0)
+	for arm := 1; arm < len(e.c.pulls); arm++ {
+		if m := e.c.mean(arm); m > bestMean {
+			best, bestMean = arm, m
+		}
+	}
+	return best
+}
+
+// Update implements Policy.
+func (e *EpsilonGreedy) Update(arm int, reward float64) error { return e.c.update(arm, reward) }
+
+// UCB1 is the optimism-under-uncertainty index policy of Auer et al.
+type UCB1 struct {
+	c counts
+}
+
+var _ Policy = (*UCB1)(nil)
+
+// NewUCB1 returns the policy for m arms.
+func NewUCB1(m int) (*UCB1, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: m=%d", ErrBadConfig, m)
+	}
+	return &UCB1{c: newCounts(m)}, nil
+}
+
+// Arms returns the number of arms.
+func (u *UCB1) Arms() int { return len(u.c.pulls) }
+
+// Select implements Policy.
+func (u *UCB1) Select(_ *rng.RNG) int {
+	for arm, n := range u.c.pulls {
+		if n == 0 {
+			return arm
+		}
+	}
+	best := 0
+	bestIdx := math.Inf(-1)
+	lnT := math.Log(float64(u.c.total))
+	for arm := range u.c.pulls {
+		idx := u.c.mean(arm) + math.Sqrt(2*lnT/float64(u.c.pulls[arm]))
+		if idx > bestIdx {
+			best, bestIdx = arm, idx
+		}
+	}
+	return best
+}
+
+// Update implements Policy.
+func (u *UCB1) Update(arm int, reward float64) error { return u.c.update(arm, reward) }
+
+// Thompson maintains a Beta(1,1) prior per arm and samples from the
+// posterior to select.
+type Thompson struct {
+	success []float64
+	failure []float64
+}
+
+var _ Policy = (*Thompson)(nil)
+
+// NewThompson returns the policy for m arms.
+func NewThompson(m int) (*Thompson, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: m=%d", ErrBadConfig, m)
+	}
+	return &Thompson{
+		success: make([]float64, m),
+		failure: make([]float64, m),
+	}, nil
+}
+
+// Arms returns the number of arms.
+func (t *Thompson) Arms() int { return len(t.success) }
+
+// Select implements Policy.
+func (t *Thompson) Select(r *rng.RNG) int {
+	best := 0
+	bestSample := math.Inf(-1)
+	for arm := range t.success {
+		b := dist.Beta{A: t.success[arm] + 1, B: t.failure[arm] + 1}
+		if s := b.Sample(r); s > bestSample {
+			best, bestSample = arm, s
+		}
+	}
+	return best
+}
+
+// Update implements Policy.
+func (t *Thompson) Update(arm int, reward float64) error {
+	if arm < 0 || arm >= len(t.success) {
+		return fmt.Errorf("%w: arm %d of %d", ErrBadConfig, arm, len(t.success))
+	}
+	if math.IsNaN(reward) || reward < 0 || reward > 1 {
+		return fmt.Errorf("%w: reward %v", ErrBadConfig, reward)
+	}
+	if reward >= 0.5 {
+		t.success[arm]++
+	} else {
+		t.failure[arm]++
+	}
+	return nil
+}
+
+// Result summarizes a bandit run.
+type Result struct {
+	// AverageReward is (total reward) / T.
+	AverageReward float64
+	// AverageRegret is η_1 − AverageReward.
+	AverageRegret float64
+	// Pulls counts how often each arm was pulled.
+	Pulls []int
+}
+
+// Run plays the policy against Bernoulli(η_j) arms for steps rounds. The
+// policy sees only the pulled arm's reward — the bandit information
+// model, in contrast to the group's full-information aggregation.
+func Run(p Policy, qualities []float64, steps int, r *rng.RNG) (*Result, error) {
+	if p == nil || r == nil {
+		return nil, fmt.Errorf("%w: nil policy or rng", ErrBadConfig)
+	}
+	if len(qualities) != p.Arms() {
+		return nil, fmt.Errorf("%w: %d qualities for %d arms", ErrBadConfig, len(qualities), p.Arms())
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("%w: steps=%d", ErrBadConfig, steps)
+	}
+	eta1 := 0.0
+	for j, q := range qualities {
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			return nil, fmt.Errorf("%w: quality[%d]=%v", ErrBadConfig, j, q)
+		}
+		if q > eta1 {
+			eta1 = q
+		}
+	}
+	pulls := make([]int, p.Arms())
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		arm := p.Select(r)
+		if arm < 0 || arm >= p.Arms() {
+			return nil, fmt.Errorf("%w: policy selected arm %d", ErrBadConfig, arm)
+		}
+		reward := 0.0
+		if r.Bernoulli(qualities[arm]) {
+			reward = 1
+		}
+		if err := p.Update(arm, reward); err != nil {
+			return nil, err
+		}
+		pulls[arm]++
+		total += reward
+	}
+	avg := total / float64(steps)
+	return &Result{
+		AverageReward: avg,
+		AverageRegret: eta1 - avg,
+		Pulls:         pulls,
+	}, nil
+}

@@ -1,0 +1,204 @@
+package bandit
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewEpsilonGreedy(0, 0.1); !errors.Is(err, ErrBadConfig) {
+		t.Error("eps-greedy m=0 accepted")
+	}
+	if _, err := NewEpsilonGreedy(3, 1.5); !errors.Is(err, ErrBadConfig) {
+		t.Error("eps>1 accepted")
+	}
+	if _, err := NewUCB1(0); !errors.Is(err, ErrBadConfig) {
+		t.Error("ucb m=0 accepted")
+	}
+	if _, err := NewThompson(-1); !errors.Is(err, ErrBadConfig) {
+		t.Error("thompson m<0 accepted")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	t.Parallel()
+
+	eg, err := NewEpsilonGreedy(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eg.Update(5, 1); !errors.Is(err, ErrBadConfig) {
+		t.Error("out-of-range arm accepted")
+	}
+	if err := eg.Update(0, 2); !errors.Is(err, ErrBadConfig) {
+		t.Error("reward > 1 accepted")
+	}
+	th, err := NewThompson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Update(-1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Error("thompson negative arm accepted")
+	}
+	if err := th.Update(0, -0.5); !errors.Is(err, ErrBadConfig) {
+		t.Error("thompson negative reward accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	p, err := NewUCB1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if _, err := Run(nil, []float64{0.5, 0.5}, 10, r); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil policy accepted")
+	}
+	if _, err := Run(p, []float64{0.5}, 10, r); !errors.Is(err, ErrBadConfig) {
+		t.Error("mismatched qualities accepted")
+	}
+	if _, err := Run(p, []float64{0.5, 0.5}, 0, r); !errors.Is(err, ErrBadConfig) {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := Run(p, []float64{0.5, 1.5}, 10, r); !errors.Is(err, ErrBadConfig) {
+		t.Error("quality > 1 accepted")
+	}
+	if _, err := Run(p, []float64{0.5, 0.5}, 10, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil rng accepted")
+	}
+}
+
+// TestPoliciesLearn verifies every policy concentrates pulls on the best
+// arm over a long horizon with a clear gap.
+func TestPoliciesLearn(t *testing.T) {
+	t.Parallel()
+
+	qualities := []float64{0.8, 0.3, 0.3}
+	const steps = 20000
+	build := map[string]func() (Policy, error){
+		"eps-greedy": func() (Policy, error) { return NewEpsilonGreedy(3, 0.05) },
+		"ucb1":       func() (Policy, error) { return NewUCB1(3) },
+		"thompson":   func() (Policy, error) { return NewThompson(3) },
+	}
+	for name, mk := range build {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(p, qualities, steps, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frac := float64(res.Pulls[0]) / steps; frac < 0.7 {
+				t.Errorf("%s pulled best arm %.2f of the time, want > 0.7", name, frac)
+			}
+			if res.AverageRegret > 0.2 {
+				t.Errorf("%s average regret %v too high", name, res.AverageRegret)
+			}
+			totalPulls := 0
+			for _, c := range res.Pulls {
+				totalPulls += c
+			}
+			if totalPulls != steps {
+				t.Errorf("pull counts sum to %d, want %d", totalPulls, steps)
+			}
+		})
+	}
+}
+
+// TestUCBPullsEveryArmOnce checks the initialization round.
+func TestUCBPullsEveryArmOnce(t *testing.T) {
+	t.Parallel()
+
+	u, err := NewUCB1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		arm := u.Select(r)
+		if seen[arm] {
+			t.Fatalf("arm %d selected twice during initialization", arm)
+		}
+		seen[arm] = true
+		if err := u.Update(arm, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEpsilonGreedyExplorationRate: with eps=1 the policy is uniform.
+func TestEpsilonGreedyExplorationRate(t *testing.T) {
+	t.Parallel()
+
+	eg, err := NewEpsilonGreedy(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[eg.Select(r)]++
+	}
+	var s stats.Summary
+	for _, c := range counts {
+		s.Add(float64(c))
+	}
+	if s.Max()-s.Min() > 0.1*float64(n)/4 {
+		t.Errorf("eps=1 selection not uniform: %v", counts)
+	}
+}
+
+// TestThompsonDegenerateCertainty: after overwhelming evidence the
+// posterior should almost always pick the best arm.
+func TestThompsonDegenerateCertainty(t *testing.T) {
+	t.Parallel()
+
+	th, err := NewThompson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := th.Update(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Update(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rng.New(5)
+	wins := 0
+	for i := 0; i < 1000; i++ {
+		if th.Select(r) == 0 {
+			wins++
+		}
+	}
+	if wins < 990 {
+		t.Errorf("posterior certainty: best arm selected %d/1000", wins)
+	}
+}
+
+func BenchmarkUCB1Run(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := NewUCB1(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qualities := []float64{0.9, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+		if _, err := Run(p, qualities, 1000, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package core is the library's public entry point: it wires the
+// substrate packages into the paper's two headline objects — the
+// finite-population social-learning dynamics (Theorem 4.4) and its
+// infinite-population stochastic-MWU limit (Theorem 4.3) — behind one
+// configuration type, and exposes the theorems' closed-form bounds.
+//
+// Quick use:
+//
+//	g, err := core.New(core.Config{
+//		N:         10_000,
+//		Qualities: []float64{0.9, 0.5, 0.5},
+//		Beta:      0.7,
+//	})
+//	report, err := g.Run(1_000)
+//	fmt.Println(report.Regret, report.Popularity)
+//
+// Config.Mu defaults to the largest exploration rate the theorems allow
+// (δ²/6); Config.Alpha defaults to the paper's symmetric 1−β; N = 0
+// selects the infinite-population process.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/infinite"
+	"repro/internal/netpop"
+	"repro/internal/population"
+	"repro/internal/regret"
+)
+
+// ErrBadConfig reports an invalid group configuration.
+var ErrBadConfig = errors.New("core: invalid config")
+
+// EngineKind selects the finite-population engine implementation.
+type EngineKind int
+
+// Available engines.
+const (
+	// EngineAggregate advances per-option counts (O(m) per step);
+	// the default, suitable for N up to millions.
+	EngineAggregate EngineKind = iota
+	// EngineAgent walks every individual (O(N) per step); required for
+	// heterogeneous rules, useful for small-N studies.
+	EngineAgent
+)
+
+// Config describes one social-learning system.
+type Config struct {
+	// N is the population size; 0 selects the infinite-population
+	// stochastic-MWU process.
+	N int
+	// Qualities are the option success probabilities η_j. They need not
+	// be sorted; Regret is always measured against the maximum.
+	Qualities []float64
+	// Beta is the adoption probability on a good signal (1/2 < β < 1
+	// for the theorems; β = 1/2 is allowed but gives δ = 0).
+	Beta float64
+	// Alpha is the adoption probability on a bad signal. Zero means
+	// "default to the paper's symmetric rule α = 1−β". To force a true
+	// zero, set AlphaIsZero.
+	Alpha float64
+	// AlphaIsZero forces α = 0 (the pure sampling-ablation regime).
+	AlphaIsZero bool
+	// Mu is the exploration rate. Zero means "default to δ²/6, the
+	// largest value the theorems permit". To force µ = 0 (no
+	// exploration; the group can fixate), set MuIsZero.
+	Mu float64
+	// MuIsZero forces µ = 0.
+	MuIsZero bool
+	// Engine selects the finite-population implementation.
+	Engine EngineKind
+	// Network optionally restricts stage-one sampling to graph
+	// neighbors (the conclusion's extension). When set, the node count
+	// is the population size (N is ignored) and the lazy neighbor-
+	// sampling dynamics of internal/netpop drives the group.
+	Network *graph.Graph
+	// Environment optionally overrides the default IID Bernoulli
+	// environment built from Qualities (e.g. a Drifting or Switching
+	// environment). When set, Qualities may be nil.
+	Environment env.Environment
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Group is a running social-learning system (finite, infinite, or
+// network-restricted).
+type Group struct {
+	finite   population.Engine
+	infinite *infinite.Process
+	network  *netpop.Dynamics
+	environ  env.Environment
+	eta1     float64
+	rule     agent.Linear
+	mu       float64
+}
+
+// Report summarizes a completed run window.
+type Report struct {
+	// Steps is the number of steps in the window.
+	Steps int
+	// AverageGroupReward is (1/T)·Σ_t Σ_j Q^{t−1}_j R^t_j.
+	AverageGroupReward float64
+	// Regret is η_1 − AverageGroupReward, the paper's average regret
+	// (a single-run realization; average over seeds for expectations).
+	Regret float64
+	// Popularity is the final popularity / distribution vector.
+	Popularity []float64
+}
+
+// New validates the config and constructs the group.
+func New(c Config) (*Group, error) {
+	environ := c.Environment
+	if environ == nil {
+		var err error
+		environ, err = env.NewIIDBernoulli(c.Qualities)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	qualities := environ.Qualities()
+	if len(qualities) == 0 {
+		return nil, fmt.Errorf("%w: environment reports no options", ErrBadConfig)
+	}
+	eta1 := 0.0
+	for _, q := range qualities {
+		if q > eta1 {
+			eta1 = q
+		}
+	}
+
+	alpha := c.Alpha
+	if alpha == 0 && !c.AlphaIsZero {
+		alpha = 1 - c.Beta
+	}
+	rule, err := agent.NewLinear(alpha, c.Beta)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	mu := c.Mu
+	if mu == 0 && !c.MuIsZero {
+		if c.Beta > 0.5 && c.Beta < 1 {
+			delta, err := regret.Delta(c.Beta)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			mu, err = regret.MaxMu(delta)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		} else {
+			mu = 0.05
+		}
+	}
+	if math.IsNaN(mu) || mu < 0 || mu > 1 {
+		return nil, fmt.Errorf("%w: mu=%v", ErrBadConfig, mu)
+	}
+
+	g := &Group{environ: environ, eta1: eta1, rule: rule, mu: mu}
+	if c.Network != nil {
+		d, err := netpop.New(netpop.Config{
+			Graph: c.Network, Mu: mu, Rule: rule, Env: environ, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		g.network = d
+		return g, nil
+	}
+	if c.N == 0 {
+		p, err := infinite.New(infinite.Config{
+			Mu: mu, Rule: rule, Env: environ, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		g.infinite = p
+		return g, nil
+	}
+	popCfg := population.Config{
+		N: c.N, Mu: mu, Rule: rule, Env: environ, Seed: c.Seed,
+	}
+	switch c.Engine {
+	case EngineAggregate:
+		g.finite, err = population.NewAggregateEngine(popCfg)
+	case EngineAgent:
+		g.finite, err = population.NewAgentEngine(popCfg)
+	default:
+		return nil, fmt.Errorf("%w: unknown engine %d", ErrBadConfig, c.Engine)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return g, nil
+}
+
+// IsInfinite reports whether the group is the infinite-population
+// process.
+func (g *Group) IsInfinite() bool { return g.infinite != nil }
+
+// Mu returns the effective exploration rate.
+func (g *Group) Mu() float64 { return g.mu }
+
+// Rule returns the effective adoption rule.
+func (g *Group) Rule() agent.Linear { return g.rule }
+
+// T returns the number of completed steps.
+func (g *Group) T() int {
+	switch {
+	case g.infinite != nil:
+		return g.infinite.T()
+	case g.network != nil:
+		return g.network.T()
+	default:
+		return g.finite.T()
+	}
+}
+
+// Popularity returns the current popularity vector (Q^t for finite
+// groups, P^t for the infinite process, held-option fractions for
+// network groups).
+func (g *Group) Popularity() []float64 {
+	switch {
+	case g.infinite != nil:
+		return g.infinite.Distribution()
+	case g.network != nil:
+		return g.network.Fractions()
+	default:
+		return g.finite.Popularity()
+	}
+}
+
+// Step advances one time step.
+func (g *Group) Step() error {
+	switch {
+	case g.infinite != nil:
+		return g.infinite.Step()
+	case g.network != nil:
+		return g.network.Step()
+	default:
+		return g.finite.Step()
+	}
+}
+
+// GroupReward returns the latest step's Σ_j Q^{t−1}_j R^t_j.
+func (g *Group) GroupReward() float64 {
+	switch {
+	case g.infinite != nil:
+		return g.infinite.GroupReward()
+	case g.network != nil:
+		return g.network.GroupReward()
+	default:
+		return g.finite.GroupReward()
+	}
+}
+
+// BestQuality returns the largest η_j the group is measured against.
+func (g *Group) BestQuality() float64 { return g.eta1 }
+
+// Run advances steps steps and reports the window.
+func (g *Group) Run(steps int) (Report, error) {
+	if steps <= 0 {
+		return Report{}, fmt.Errorf("%w: steps=%d", ErrBadConfig, steps)
+	}
+	var avg float64
+	var err error
+	switch {
+	case g.infinite != nil:
+		avg, err = infinite.Run(g.infinite, steps)
+	case g.network != nil:
+		avg, err = netpop.Run(g.network, steps)
+	default:
+		avg, err = population.Run(g.finite, steps)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Steps:              steps,
+		AverageGroupReward: avg,
+		Regret:             g.eta1 - avg,
+		Popularity:         g.Popularity(),
+	}, nil
+}
+
+// Bounds collects every closed-form quantity the paper proves for a
+// given (m, β) configuration.
+type Bounds struct {
+	// Delta is δ = ln(β/(1−β)).
+	Delta float64
+	// MuMax is the largest exploration rate with 6µ ≤ δ².
+	MuMax float64
+	// MinHorizon is ⌈ln m/δ²⌉, where the regret bounds take effect.
+	MinHorizon int
+	// InfiniteRegret is Theorem 4.3's 3δ.
+	InfiniteRegret float64
+	// FiniteRegret is Theorem 4.4's 6δ.
+	FiniteRegret float64
+	// HedgeOptimal is the tuned-MWU rate 2·sqrt(ln m/MinHorizon) for
+	// comparison at the same horizon.
+	HedgeOptimal float64
+}
+
+// TheoremBounds computes the paper's bounds for m options and rate β
+// (requires 1/2 < β ≤ e/(e+1) for all bounds to be in force).
+func TheoremBounds(m int, beta float64) (Bounds, error) {
+	delta, err := regret.Delta(beta)
+	if err != nil {
+		return Bounds{}, err
+	}
+	muMax, err := regret.MaxMu(delta)
+	if err != nil {
+		return Bounds{}, err
+	}
+	horizon, err := regret.MinHorizon(m, delta)
+	if err != nil {
+		return Bounds{}, err
+	}
+	var inf3, fin6 float64
+	if delta <= 1 {
+		inf3, err = regret.InfiniteBound(delta)
+		if err != nil {
+			return Bounds{}, err
+		}
+		fin6, err = regret.FiniteBound(delta)
+		if err != nil {
+			return Bounds{}, err
+		}
+	} else {
+		inf3, fin6 = 3*delta, 6*delta
+	}
+	hedge, err := regret.HedgeOptimalBound(m, horizon)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{
+		Delta:          delta,
+		MuMax:          muMax,
+		MinHorizon:     horizon,
+		InfiniteRegret: inf3,
+		FiniteRegret:   fin6,
+		HedgeOptimal:   hedge,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// ExampleNew shows the minimal simulation loop: configure a finite
+// group, run it, and read the regret report.
+func ExampleNew() {
+	g, err := core.New(core.Config{
+		N:         100000,
+		Qualities: []float64{0.9, 0.5, 0.5},
+		Beta:      0.7,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := g.Run(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best option share > 0.5: %v\n", report.Popularity[0] > 0.5)
+	fmt.Printf("regret below finite bound: %v\n", report.Regret < 6)
+	// Output:
+	// best option share > 0.5: true
+	// regret below finite bound: true
+}
+
+// ExampleTheoremBounds prints the paper's closed-form quantities for a
+// configuration.
+func ExampleTheoremBounds() {
+	b, err := core.TheoremBounds(10, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta=%.4f minT=%d infinite<=%.4f finite<=%.4f\n",
+		b.Delta, b.MinHorizon, b.InfiniteRegret, b.FiniteRegret)
+	// Output:
+	// delta=0.4055 minT=15 infinite<=1.2164 finite<=2.4328
+}
+
+// ExampleGroup_Step drives the infinite-population process one step at
+// a time.
+func ExampleGroup_Step() {
+	g, err := core.New(core.Config{
+		Qualities: []float64{0.9, 0.2},
+		Beta:      0.7,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := g.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p := g.Popularity()
+	fmt.Printf("after 100 steps the best option dominates: %v\n", p[0] > 0.8)
+	// Output:
+	// after 100 steps the best option dominates: true
+}

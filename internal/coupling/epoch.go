@@ -1,0 +1,130 @@
+package coupling
+
+import (
+	"fmt"
+
+	"repro/internal/env"
+	"repro/internal/infinite"
+	"repro/internal/population"
+	"repro/internal/regret"
+	"repro/internal/stats"
+)
+
+// EpochResult summarizes one epoch of the Section 4.3.2 construction.
+type EpochResult struct {
+	// Start and End are the epoch's step range (1-based, inclusive).
+	Start, End int
+	// FiniteRegret is η₁ minus the finite process's average group
+	// reward over the epoch.
+	FiniteRegret float64
+	// InfiniteRegret is the same for the epoch's coupled infinite
+	// process (restarted at the finite state at the epoch boundary).
+	InfiniteRegret float64
+	// MaxDeviation is the largest max_j |P_j/Q_j − 1| seen within the
+	// epoch.
+	MaxDeviation float64
+}
+
+// EpochRun implements the large-T argument of Section 4.3.2 as an
+// executable construction: time is cut into epochs of length
+// ln(1/ζ)/δ² with ζ = µ(1−β)/4m; at each epoch boundary a *fresh*
+// infinite-population process is started from the finite population's
+// current popularity, and both processes then consume the same realized
+// rewards. The per-epoch regret of the infinite process is covered by
+// Theorem 4.6 (nonuniform start), and the coupling keeps the finite
+// process close within the epoch — which is exactly how the paper
+// stitches Theorem 4.4 together.
+//
+// The finite popularity can have zero coordinates (a floor violation
+// the paper tolerates with probability O(m/N¹⁰)); the restart therefore
+// mixes the popularity with the ζ floor before seeding the infinite
+// process, matching the proof's conditioning.
+func EpochRun(c Config, epochs int) ([]EpochResult, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("%w: epochs=%d", ErrBadConfig, epochs)
+	}
+	if c.Rule == nil {
+		return nil, fmt.Errorf("%w: nil rule", ErrBadConfig)
+	}
+	m := len(c.Qualities)
+	delta, err := regret.Delta(c.Rule.Beta())
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
+	}
+	epochLen, err := regret.EpochLength(m, c.Mu, c.Rule.Beta(), delta)
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
+	}
+	zeta, err := regret.PopularityFloor(m, c.Mu, c.Rule.Beta())
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
+	}
+
+	environ, err := env.NewIIDBernoulli(c.Qualities)
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
+	}
+	fin, err := population.NewAggregateEngine(population.Config{
+		N: c.N, Mu: c.Mu, Rule: c.Rule, Env: environ, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coupling: finite engine: %w", err)
+	}
+	eta1 := 0.0
+	for _, q := range c.Qualities {
+		if q > eta1 {
+			eta1 = q
+		}
+	}
+
+	results := make([]EpochResult, 0, epochs)
+	step := 0
+	for ep := 0; ep < epochs; ep++ {
+		// Restart the infinite process at the (floored) finite state.
+		start := fin.Popularity()
+		flooredMass := 0.0
+		for j := range start {
+			if start[j] < zeta {
+				start[j] = zeta
+			}
+			flooredMass += start[j]
+		}
+		for j := range start {
+			start[j] /= flooredMass
+		}
+		placeholder, err := env.NewIIDBernoulli(c.Qualities)
+		if err != nil {
+			return nil, fmt.Errorf("coupling: %w", err)
+		}
+		inf, err := infinite.New(infinite.Config{
+			Mu: c.Mu, Rule: c.Rule, Env: placeholder,
+			InitialP: start, Seed: c.Seed + uint64(ep) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coupling: epoch %d infinite process: %w", ep, err)
+		}
+
+		res := EpochResult{Start: step + 1, End: step + epochLen}
+		finBefore := fin.CumulativeGroupReward()
+		for i := 0; i < epochLen; i++ {
+			if err := fin.Step(); err != nil {
+				return nil, fmt.Errorf("coupling: epoch %d finite step: %w", ep, err)
+			}
+			if err := inf.StepWithRewards(fin.LastRewards()); err != nil {
+				return nil, fmt.Errorf("coupling: epoch %d infinite step: %w", ep, err)
+			}
+			dev, err := stats.MaxRatioDeviation(inf.Distribution(), fin.Popularity())
+			if err != nil {
+				return nil, fmt.Errorf("coupling: epoch %d deviation: %w", ep, err)
+			}
+			if dev > res.MaxDeviation {
+				res.MaxDeviation = dev
+			}
+		}
+		step += epochLen
+		res.FiniteRegret = eta1 - (fin.CumulativeGroupReward()-finBefore)/float64(epochLen)
+		res.InfiniteRegret = eta1 - inf.CumulativeGroupReward()/float64(epochLen)
+		results = append(results, res)
+	}
+	return results, nil
+}

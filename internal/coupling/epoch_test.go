@@ -1,0 +1,123 @@
+package coupling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/regret"
+)
+
+func epochConfig(t *testing.T) Config {
+	t.Helper()
+	rule, err := agent.NewSymmetric(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := regret.Delta(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		N:         1000000,
+		Mu:        mu,
+		Rule:      rule,
+		Qualities: []float64{0.9, 0.4, 0.4},
+		Seed:      21,
+	}
+}
+
+func TestEpochRunValidation(t *testing.T) {
+	t.Parallel()
+
+	c := epochConfig(t)
+	if _, err := EpochRun(c, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("epochs=0 accepted")
+	}
+	c.Rule = nil
+	if _, err := EpochRun(c, 2); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil rule accepted")
+	}
+}
+
+func TestEpochRunShapes(t *testing.T) {
+	t.Parallel()
+
+	c := epochConfig(t)
+	const epochs = 4
+	results, err := EpochRun(c, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != epochs {
+		t.Fatalf("%d epochs, want %d", len(results), epochs)
+	}
+	prevEnd := 0
+	for i, ep := range results {
+		if ep.Start != prevEnd+1 {
+			t.Errorf("epoch %d start = %d, want %d", i, ep.Start, prevEnd+1)
+		}
+		if ep.End <= ep.Start {
+			t.Errorf("epoch %d degenerate range [%d,%d]", i, ep.Start, ep.End)
+		}
+		prevEnd = ep.End
+		if math.IsNaN(ep.MaxDeviation) || ep.MaxDeviation < 0 {
+			t.Errorf("epoch %d deviation %v", i, ep.MaxDeviation)
+		}
+	}
+}
+
+// TestEpochRegretsWithinBound: every epoch's infinite-process regret
+// (Theorem 4.6 with a floored start) must be within 3*delta, and the
+// coupled finite regret must stay close to it at N = 10^6.
+func TestEpochRegretsWithinBound(t *testing.T) {
+	t.Parallel()
+
+	c := epochConfig(t)
+	delta, err := regret.Delta(c.Rule.Beta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := regret.InfiniteBound(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := EpochRun(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ep := range results {
+		if ep.InfiniteRegret > bound {
+			t.Errorf("epoch %d: infinite regret %v above 3*delta=%v", i, ep.InfiniteRegret, bound)
+		}
+		if ep.FiniteRegret > bound+0.5 {
+			t.Errorf("epoch %d: finite regret %v far above the coupled infinite bound", i, ep.FiniteRegret)
+		}
+		if math.Abs(ep.FiniteRegret-ep.InfiniteRegret) > 0.2 {
+			t.Errorf("epoch %d: finite %v and infinite %v regrets diverged", i, ep.FiniteRegret, ep.InfiniteRegret)
+		}
+	}
+}
+
+// TestEpochDeviationSmallAtLargeN: within each epoch the coupled
+// trajectories stay multiplicatively close at N = 10^6 (the regime the
+// paper's stitching argument needs).
+func TestEpochDeviationSmallAtLargeN(t *testing.T) {
+	t.Parallel()
+
+	c := epochConfig(t)
+	results, err := EpochRun(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ep := range results {
+		if ep.MaxDeviation > 0.5 {
+			t.Errorf("epoch %d: max deviation %v too large for N=10^6", i, ep.MaxDeviation)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package env
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ErrInjected is the sentinel returned by a Faulty environment once its
+// failure step is reached. Tests use it to verify that every simulation
+// layer propagates environment failures instead of swallowing them.
+var ErrInjected = errors.New("env: injected failure")
+
+// Faulty wraps an Environment and fails permanently at a configured
+// step. It models a broken telemetry source in a deployment and backs
+// the failure-injection tests across the simulation engines.
+type Faulty struct {
+	inner   Environment
+	failAt  int
+	stepped int
+}
+
+var _ Environment = (*Faulty)(nil)
+
+// NewFaulty wraps inner so that the failAt-th call to Step (1-based)
+// and every later call return ErrInjected.
+func NewFaulty(inner Environment, failAt int) (*Faulty, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner environment", ErrBadParam)
+	}
+	if failAt <= 0 {
+		return nil, fmt.Errorf("%w: failAt=%d", ErrBadParam, failAt)
+	}
+	return &Faulty{inner: inner, failAt: failAt}, nil
+}
+
+// Options returns the inner environment's option count.
+func (e *Faulty) Options() int { return e.inner.Options() }
+
+// Qualities returns the inner environment's qualities.
+func (e *Faulty) Qualities() []float64 { return e.inner.Qualities() }
+
+// Step delegates until the failure step, then returns ErrInjected.
+func (e *Faulty) Step(r *rng.RNG, dst []float64) error {
+	e.stepped++
+	if e.stepped >= e.failAt {
+		return fmt.Errorf("%w at step %d", ErrInjected, e.stepped)
+	}
+	return e.inner.Step(r, dst)
+}

@@ -1,0 +1,51 @@
+package env
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewFaultyValidation(t *testing.T) {
+	t.Parallel()
+
+	inner, err := NewIIDBernoulli([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFaulty(nil, 3); !errors.Is(err, ErrBadParam) {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewFaulty(inner, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("failAt=0 accepted")
+	}
+}
+
+func TestFaultyFailsAtConfiguredStep(t *testing.T) {
+	t.Parallel()
+
+	inner, err := NewIIDBernoulli([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaulty(inner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Options() != 2 || len(f.Qualities()) != 2 {
+		t.Error("delegation broken")
+	}
+	r := rng.New(1)
+	dst := make([]float64, 2)
+	for i := 1; i <= 2; i++ {
+		if err := f.Step(r, dst); err != nil {
+			t.Fatalf("step %d failed early: %v", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if err := f.Step(r, dst); !errors.Is(err, ErrInjected) {
+			t.Fatalf("step %d: want ErrInjected, got %v", i, err)
+		}
+	}
+}

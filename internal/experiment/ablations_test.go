@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAblationsRegistry(t *testing.T) {
+	t.Parallel()
+
+	specs := Ablations()
+	if len(specs) != 2 {
+		t.Fatalf("%d ablations, want 2", len(specs))
+	}
+	for _, s := range specs {
+		if s.ID == "" || s.Title == "" || s.Run == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+	}
+}
+
+func TestA01EnginesAgree(t *testing.T) {
+	t.Parallel()
+
+	res, err := A01Engines(A01Options{Ns: []int{100, 2000}, Steps: 10, Reps: 60, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"100", "2000"} {
+		diff := res.Metrics["diff/N="+n]
+		tol := res.Metrics["tol/N="+n]
+		if diff > tol {
+			t.Errorf("N=%s: engine means differ by %v (tolerance %v)", n, diff, tol)
+		}
+	}
+	// The aggregate engine should win by a growing factor.
+	if res.Metrics["speedup/N=2000"] <= 1 {
+		t.Errorf("aggregate engine not faster at N=2000: speedup %v", res.Metrics["speedup/N=2000"])
+	}
+}
+
+func TestA01Validation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := A01Engines(A01Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Error("empty options accepted")
+	}
+}
+
+func TestA02BinomialAccuracy(t *testing.T) {
+	t.Parallel()
+
+	res, err := A02Binomial(A02Options{Trials: 50000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, v := range res.Metrics {
+		if len(key) > 8 && key[:8] == "meanerr/" {
+			if math.Abs(v) > 5 {
+				t.Errorf("%s mean error %v sd units", key, v)
+			}
+		}
+		if len(key) > 9 && key[:9] == "varratio/" {
+			if v < 0.9 || v > 1.1 {
+				t.Errorf("%s variance ratio %v", key, v)
+			}
+		}
+	}
+}
+
+func TestA02Validation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := A02Binomial(A02Options{Trials: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Error("zero trials accepted")
+	}
+}

@@ -1,0 +1,493 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/coupling"
+	"repro/internal/env"
+	"repro/internal/infinite"
+	"repro/internal/population"
+	"repro/internal/regret"
+)
+
+// E01Options configures the Theorem 4.3 regret sweep.
+type E01Options struct {
+	Ms           []int
+	Betas        []float64
+	HorizonScale int // horizon = HorizonScale * (ln m / delta^2)
+	Reps         int
+	Seed         uint64
+}
+
+// DefaultE01Options sizes the sweep for seconds-scale runtime.
+func DefaultE01Options() E01Options {
+	return E01Options{
+		Ms:           []int{2, 10, 50},
+		Betas:        []float64{0.55, 0.6, 0.65, regret.BetaUpper},
+		HorizonScale: 4,
+		Reps:         20,
+		Seed:         1,
+	}
+}
+
+// qualitiesWithGap builds η = (0.9, 0.9−gap, …, 0.9−gap).
+func qualitiesWithGap(m int, gap float64) []float64 {
+	q := make([]float64, m)
+	q[0] = 0.9
+	for j := 1; j < m; j++ {
+		q[j] = 0.9 - gap
+	}
+	return q
+}
+
+// E01InfiniteRegret reproduces Theorem 4.3: the infinite-population
+// dynamics' average regret is below 3δ once T ≥ ln m/δ².
+func E01InfiniteRegret(opt E01Options) (*Result, error) {
+	if len(opt.Ms) == 0 || len(opt.Betas) == 0 || opt.Reps <= 0 || opt.HorizonScale <= 0 {
+		return nil, fmt.Errorf("%w: E01 %+v", ErrBadOptions, opt)
+	}
+	table, err := NewTable("E01 Infinite-population regret (Theorem 4.3)",
+		"m", "beta", "delta", "mu", "T", "regret", "bound 3d", "within")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "regret averaged over independent reward realizations; bound holds in expectation"
+	metrics := map[string]float64{}
+	violations := 0.0
+	for _, m := range opt.Ms {
+		for _, beta := range opt.Betas {
+			delta, err := regret.Delta(beta)
+			if err != nil {
+				return nil, err
+			}
+			mu, err := regret.MaxMu(delta)
+			if err != nil {
+				return nil, err
+			}
+			horizon, err := regret.MinHorizon(m, delta)
+			if err != nil {
+				return nil, err
+			}
+			horizon *= opt.HorizonScale
+			rule, err := agent.NewSymmetric(beta)
+			if err != nil {
+				return nil, err
+			}
+			qualities := qualitiesWithGap(m, 0.5)
+			summary, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+				environ, err := env.NewIIDBernoulli(qualities)
+				if err != nil {
+					return 0, err
+				}
+				p, err := infinite.New(infinite.Config{
+					Mu: mu, Rule: rule, Env: environ,
+					Seed: SeedFor(opt.Seed, rep),
+				})
+				if err != nil {
+					return 0, err
+				}
+				avg, err := infinite.Run(p, horizon)
+				if err != nil {
+					return 0, err
+				}
+				return qualities[0] - avg, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound, err := regret.InfiniteBound(delta)
+			if err != nil {
+				return nil, err
+			}
+			within := summary.Mean() <= bound
+			if !within {
+				violations++
+			}
+			key := fmt.Sprintf("regret/m=%d/beta=%.4f", m, beta)
+			metrics[key] = summary.Mean()
+			metrics[fmt.Sprintf("bound/m=%d/beta=%.4f", m, beta)] = bound
+			if err := table.AddRow(I(m), F(beta), F(delta), F(mu), I(horizon),
+				F(summary.Mean()), F(bound), B(within)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	metrics["violations"] = violations
+	return &Result{ID: "E01", Table: table, Metrics: metrics}, nil
+}
+
+// E02Options configures the best-option-mass experiment.
+type E02Options struct {
+	Gaps         []float64
+	Beta         float64
+	M            int
+	HorizonScale int
+	Reps         int
+	Seed         uint64
+}
+
+// DefaultE02Options sizes the sweep for seconds-scale runtime.
+func DefaultE02Options() E02Options {
+	return E02Options{
+		Gaps:         []float64{0.1, 0.2, 0.4},
+		Beta:         0.55,
+		M:            5,
+		HorizonScale: 4,
+		Reps:         20,
+		Seed:         2,
+	}
+}
+
+// E02BestOptionMass reproduces the second claim of Theorem 4.3: the
+// time-averaged probability mass on the best option is at least
+// 1 − 3δ/(η1−η2).
+func E02BestOptionMass(opt E02Options) (*Result, error) {
+	if len(opt.Gaps) == 0 || opt.M < 2 || opt.Reps <= 0 || opt.HorizonScale <= 0 {
+		return nil, fmt.Errorf("%w: E02 %+v", ErrBadOptions, opt)
+	}
+	delta, err := regret.Delta(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		return nil, err
+	}
+	horizon, err := regret.MinHorizon(opt.M, delta)
+	if err != nil {
+		return nil, err
+	}
+	horizon *= opt.HorizonScale
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	table, err := NewTable("E02 Time-averaged best-option mass (Theorem 4.3, part 2)",
+		"gap", "delta", "T", "avg P1", "bound", "within")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "bound is 1 - 3*delta/gap and can be vacuous for small gaps"
+	metrics := map[string]float64{}
+	for _, gap := range opt.Gaps {
+		qualities := qualitiesWithGap(opt.M, gap)
+		summary, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+			environ, err := env.NewIIDBernoulli(qualities)
+			if err != nil {
+				return 0, err
+			}
+			p, err := infinite.New(infinite.Config{
+				Mu: mu, Rule: rule, Env: environ,
+				Seed: SeedFor(opt.Seed, rep),
+			})
+			if err != nil {
+				return 0, err
+			}
+			sum := 0.0
+			for t := 0; t < horizon; t++ {
+				// The theorem averages P^{t-1}_1 over t=1..T.
+				sum += p.Distribution()[0]
+				if err := p.Step(); err != nil {
+					return 0, err
+				}
+			}
+			return sum / float64(horizon), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bound, err := regret.BestOptionMassBound(delta, qualities[0], qualities[1])
+		if err != nil {
+			return nil, err
+		}
+		within := summary.Mean() >= bound
+		metrics[fmt.Sprintf("mass/gap=%.2f", gap)] = summary.Mean()
+		metrics[fmt.Sprintf("bound/gap=%.2f", gap)] = bound
+		if err := table.AddRow(F2(gap), F(delta), I(horizon),
+			F(summary.Mean()), F(bound), B(within)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{ID: "E02", Table: table, Metrics: metrics}, nil
+}
+
+// E03Options configures the finite-population regret sweep.
+type E03Options struct {
+	Ms           []int
+	Ns           []int
+	Beta         float64
+	HorizonScale int
+	Reps         int
+	Seed         uint64
+}
+
+// DefaultE03Options sizes the sweep for seconds-scale runtime.
+func DefaultE03Options() E03Options {
+	return E03Options{
+		Ms:           []int{2, 10},
+		Ns:           []int{100, 1000, 10000, 100000, 1000000},
+		Beta:         0.6,
+		HorizonScale: 4,
+		Reps:         10,
+		Seed:         3,
+	}
+}
+
+// E03FiniteRegret reproduces Theorem 4.4: the finite-population regret
+// stays below 6δ for large N, with the expected degradation at small N.
+func E03FiniteRegret(opt E03Options) (*Result, error) {
+	if len(opt.Ms) == 0 || len(opt.Ns) == 0 || opt.Reps <= 0 || opt.HorizonScale <= 0 {
+		return nil, fmt.Errorf("%w: E03 %+v", ErrBadOptions, opt)
+	}
+	delta, err := regret.Delta(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	table, err := NewTable("E03 Finite-population regret (Theorem 4.4)",
+		"m", "N", "T", "regret", "bound 6d", "within")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "aggregate engine (multinomial/binomial counts), O(m) per step"
+	metrics := map[string]float64{}
+	for _, m := range opt.Ms {
+		horizon, err := regret.MinHorizon(m, delta)
+		if err != nil {
+			return nil, err
+		}
+		horizon *= opt.HorizonScale
+		qualities := qualitiesWithGap(m, 0.5)
+		for _, n := range opt.Ns {
+			summary, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+				environ, err := env.NewIIDBernoulli(qualities)
+				if err != nil {
+					return 0, err
+				}
+				e, err := population.NewAggregateEngine(population.Config{
+					N: n, Mu: mu, Rule: rule, Env: environ,
+					Seed: SeedFor(opt.Seed, rep),
+				})
+				if err != nil {
+					return 0, err
+				}
+				avg, err := population.Run(e, horizon)
+				if err != nil {
+					return 0, err
+				}
+				return qualities[0] - avg, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			bound, err := regret.FiniteBound(delta)
+			if err != nil {
+				return nil, err
+			}
+			within := summary.Mean() <= bound
+			metrics[fmt.Sprintf("regret/m=%d/N=%d", m, n)] = summary.Mean()
+			if err := table.AddRow(I(m), I(n), I(horizon),
+				F(summary.Mean()), F(bound), B(within)); err != nil {
+				return nil, err
+			}
+		}
+		metrics[fmt.Sprintf("bound/m=%d", m)], _ = regret.FiniteBound(delta)
+	}
+	return &Result{ID: "E03", Table: table, Metrics: metrics}, nil
+}
+
+// E04Options configures the coupling experiment.
+type E04Options struct {
+	Ns    []int
+	Steps int
+	Beta  float64
+	Mu    float64
+	Reps  int
+	Seed  uint64
+}
+
+// DefaultE04Options sizes the sweep for seconds-scale runtime.
+func DefaultE04Options() E04Options {
+	return E04Options{
+		Ns:    []int{1000, 10000, 100000, 1000000},
+		Steps: 8,
+		Beta:  0.7,
+		Mu:    0.05,
+		Reps:  10,
+		Seed:  4,
+	}
+}
+
+// E04Coupling reproduces Lemma 4.5: the coupled finite and infinite
+// trajectories stay multiplicatively close, the deviation grows with t
+// and shrinks roughly as 1/sqrt(N).
+func E04Coupling(opt E04Options) (*Result, error) {
+	if len(opt.Ns) == 0 || opt.Steps <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E04 %+v", ErrBadOptions, opt)
+	}
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	table, err := NewTable("E04 Coupling closeness (Lemma 4.5)",
+		"N", "t", "mean |P/Q - 1|", "lemma bound 5^t d''", "within")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "deviation = max_j |P^t_j/Q^t_j - 1|, averaged over replications; bound is loose"
+	metrics := map[string]float64{}
+	for _, n := range opt.Ns {
+		cfg := coupling.Config{
+			N: n, Mu: opt.Mu, Rule: rule,
+			Qualities: []float64{0.9, 0.4},
+			Steps:     opt.Steps,
+			Seed:      opt.Seed,
+		}
+		perStep := make([]float64, opt.Steps)
+		var bounds []float64
+		for rep := 0; rep < opt.Reps; rep++ {
+			cc := cfg
+			cc.Seed = SeedFor(opt.Seed, rep)
+			res, err := coupling.Run(cc)
+			if err != nil {
+				return nil, err
+			}
+			for t := range res.Deviation {
+				perStep[t] += res.Deviation[t] / float64(opt.Reps)
+			}
+			if rep == 0 {
+				bounds = res.Bound
+			}
+		}
+		for t := 0; t < opt.Steps; t++ {
+			within := perStep[t] <= bounds[t]
+			if err := table.AddRow(I(n), I(t+1), F(perStep[t]), F(bounds[t]), B(within)); err != nil {
+				return nil, err
+			}
+		}
+		metrics[fmt.Sprintf("dev/N=%d/t=%d", n, opt.Steps)] = perStep[opt.Steps-1]
+		metrics[fmt.Sprintf("dev/N=%d/t=1", n)] = perStep[0]
+	}
+	return &Result{ID: "E04", Table: table, Metrics: metrics}, nil
+}
+
+// E05Options configures the two-stage ablation.
+type E05Options struct {
+	N     int
+	M     int
+	Beta  float64
+	Steps int
+	Reps  int
+	Seed  uint64
+}
+
+// DefaultE05Options sizes the ablation for seconds-scale runtime.
+func DefaultE05Options() E05Options {
+	return E05Options{N: 2000, M: 5, Beta: 0.7, Steps: 600, Reps: 10, Seed: 5}
+}
+
+// E05Ablation reproduces the Section 3 observation: with only the
+// sampling stage (β = 1−α = 1, pure copying) or only the adoption stage
+// (µ = 1, no social sampling) the process does not reliably converge to
+// the best option, while the full two-stage dynamics does.
+func E05Ablation(opt E05Options) (*Result, error) {
+	if opt.N <= 0 || opt.M < 2 || opt.Steps <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E05 %+v", ErrBadOptions, opt)
+	}
+	fullRule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := regret.Delta(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		return nil, err
+	}
+	qualities := qualitiesWithGap(opt.M, 0.5)
+
+	type variant struct {
+		name string
+		mu   float64
+		rule agent.Rule
+	}
+	variants := []variant{
+		{name: "full dynamics", mu: mu, rule: fullRule},
+		{name: "sampling only (beta=1, pure copy)", mu: mu, rule: agent.AlwaysAdopt()},
+		{name: "adoption only (mu=1)", mu: 1, rule: fullRule},
+	}
+
+	table, err := NewTable("E05 Two-stage ablation (Section 3)",
+		"variant", "avg Q1 (late window)", "avg regret", "converges")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "late window = final quarter of the horizon; converges means avg Q1 > 0.6"
+	metrics := map[string]float64{}
+	for _, v := range variants {
+		v := v
+		window := opt.Steps / 4
+		type pair struct{ q1, reward float64 }
+		results := make([]pair, opt.Reps)
+		_, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+			environ, err := env.NewIIDBernoulli(qualities)
+			if err != nil {
+				return 0, err
+			}
+			e, err := population.NewAggregateEngine(population.Config{
+				N: opt.N, Mu: v.mu, Rule: v.rule, Env: environ,
+				Seed: SeedFor(opt.Seed, rep),
+			})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := population.Run(e, opt.Steps-window); err != nil {
+				return 0, err
+			}
+			q1 := 0.0
+			rewardBefore := e.CumulativeGroupReward()
+			for i := 0; i < window; i++ {
+				if err := e.Step(); err != nil {
+					return 0, err
+				}
+				q1 += e.Popularity()[0]
+			}
+			results[rep] = pair{
+				q1:     q1 / float64(window),
+				reward: (e.CumulativeGroupReward() - rewardBefore) / float64(window),
+			}
+			return 0, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		meanQ1, meanReward := 0.0, 0.0
+		for _, p := range results {
+			meanQ1 += p.q1 / float64(opt.Reps)
+			meanReward += p.reward / float64(opt.Reps)
+		}
+		reg := qualities[0] - meanReward
+		converges := meanQ1 > 0.6
+		metrics["q1/"+v.name] = meanQ1
+		metrics["regret/"+v.name] = reg
+		if err := table.AddRow(v.name, F(meanQ1), F(reg), B(converges)); err != nil {
+			return nil, err
+		}
+	}
+	// Sanity relation the paper predicts: full beats both ablations.
+	full := metrics["q1/full dynamics"]
+	worstAblation := math.Max(metrics["q1/sampling only (beta=1, pure copy)"], metrics["q1/adoption only (mu=1)"])
+	metrics["full_minus_best_ablation"] = full - worstAblation
+	return &Result{ID: "E05", Table: table, Metrics: metrics}, nil
+}

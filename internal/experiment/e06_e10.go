@@ -1,0 +1,633 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/bandit"
+	"repro/internal/dist"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/infinite"
+	"repro/internal/mwu"
+	"repro/internal/netpop"
+	"repro/internal/population"
+	"repro/internal/regret"
+	"repro/internal/rng"
+)
+
+// E06Options configures the nonuniform-start / epoch experiment.
+type E06Options struct {
+	M          int
+	Beta       float64
+	EpochScale int // horizon per phase = EpochScale * epoch length
+	Epochs     int // number of epochs in the long-horizon run
+	Reps       int
+	Seed       uint64
+}
+
+// DefaultE06Options sizes the experiment for seconds-scale runtime.
+func DefaultE06Options() E06Options {
+	return E06Options{M: 5, Beta: 0.6, EpochScale: 2, Epochs: 5, Reps: 15, Seed: 6}
+}
+
+// E06Epochs reproduces Theorem 4.6 and the Section 4.3.2 epoch argument:
+// starting from the adversarial floor distribution (the best option at
+// ζ = µ(1−β)/4m), the regret over one epoch of length ln(1/ζ)/δ² is
+// still ≤ 3δ, and chaining epochs keeps the long-horizon regret bounded.
+func E06Epochs(opt E06Options) (*Result, error) {
+	if opt.M < 2 || opt.EpochScale <= 0 || opt.Epochs <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E06 %+v", ErrBadOptions, opt)
+	}
+	delta, err := regret.Delta(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		return nil, err
+	}
+	zeta, err := regret.PopularityFloor(opt.M, mu, opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := regret.EpochLength(opt.M, mu, opt.Beta, delta)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	qualities := qualitiesWithGap(opt.M, 0.5)
+
+	// Adversarial start: best option pinned at the floor.
+	start := make([]float64, opt.M)
+	start[0] = zeta
+	rest := (1 - zeta) / float64(opt.M-1)
+	for j := 1; j < opt.M; j++ {
+		start[j] = rest
+	}
+
+	table, err := NewTable("E06 Nonuniform start and epochs (Theorem 4.6, Section 4.3.2)",
+		"phase", "T", "regret", "bound 3d", "within")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = fmt.Sprintf("floor zeta=%.6f, epoch length=%d", zeta, epoch)
+	metrics := map[string]float64{}
+
+	horizon := epoch * opt.EpochScale
+	oneEpoch, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+		environ, err := env.NewIIDBernoulli(qualities)
+		if err != nil {
+			return 0, err
+		}
+		p, err := infinite.New(infinite.Config{
+			Mu: mu, Rule: rule, Env: environ,
+			InitialP: start, Seed: SeedFor(opt.Seed, rep),
+		})
+		if err != nil {
+			return 0, err
+		}
+		avg, err := infinite.Run(p, horizon)
+		if err != nil {
+			return 0, err
+		}
+		return qualities[0] - avg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound, err := regret.InfiniteBound(delta)
+	if err != nil {
+		return nil, err
+	}
+	if err := table.AddRow("adversarial start, one epoch", I(horizon),
+		F(oneEpoch.Mean()), F(bound), B(oneEpoch.Mean() <= bound)); err != nil {
+		return nil, err
+	}
+	metrics["regret/one-epoch"] = oneEpoch.Mean()
+
+	longT := epoch * opt.Epochs
+	long, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+		environ, err := env.NewIIDBernoulli(qualities)
+		if err != nil {
+			return 0, err
+		}
+		p, err := infinite.New(infinite.Config{
+			Mu: mu, Rule: rule, Env: environ,
+			InitialP: start, Seed: SeedFor(opt.Seed+1000, rep),
+		})
+		if err != nil {
+			return 0, err
+		}
+		avg, err := infinite.Run(p, longT)
+		if err != nil {
+			return 0, err
+		}
+		return qualities[0] - avg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := table.AddRow(fmt.Sprintf("long horizon (%d epochs)", opt.Epochs), I(longT),
+		F(long.Mean()), F(bound), B(long.Mean() <= bound)); err != nil {
+		return nil, err
+	}
+	metrics["regret/long"] = long.Mean()
+	metrics["bound"] = bound
+	return &Result{ID: "E06", Table: table, Metrics: metrics}, nil
+}
+
+// E07Options configures the baseline comparison.
+type E07Options struct {
+	M       int
+	N       int
+	Beta    float64
+	Horizon int
+	Reps    int
+	Seed    uint64
+}
+
+// DefaultE07Options sizes the comparison for seconds-scale runtime.
+func DefaultE07Options() E07Options {
+	return E07Options{M: 10, N: 1000, Beta: 0.6, Horizon: 2000, Reps: 10, Seed: 7}
+}
+
+// E07Baselines contrasts the social group with an explicitly-tuned Hedge
+// learner (full information, stores weights) and individual bandit
+// agents (partial information, no group). Expected shape: tuned Hedge
+// achieves the lowest regret (it optimizes the rate the group cannot),
+// the group dynamics lands within its 6δ guarantee, and isolated bandit
+// agents pay a higher exploration cost early on.
+func E07Baselines(opt E07Options) (*Result, error) {
+	if opt.M < 2 || opt.N <= 0 || opt.Horizon <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E07 %+v", ErrBadOptions, opt)
+	}
+	delta, err := regret.Delta(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := regret.MaxMu(delta)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	qualities := qualitiesWithGap(opt.M, 0.4)
+	eta1 := qualities[0]
+
+	table, err := NewTable("E07 Group dynamics vs explicit learners",
+		"learner", "information", "memory/agent", "avg regret")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = fmt.Sprintf("m=%d, T=%d; group bound 6d=%.4f, tuned-Hedge bound %.4f",
+		opt.M, opt.Horizon, 6*delta, mustHedgeBound(opt.M, opt.Horizon))
+	metrics := map[string]float64{}
+
+	group, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+		environ, err := env.NewIIDBernoulli(qualities)
+		if err != nil {
+			return 0, err
+		}
+		e, err := population.NewAggregateEngine(population.Config{
+			N: opt.N, Mu: mu, Rule: rule, Env: environ,
+			Seed: SeedFor(opt.Seed, rep),
+		})
+		if err != nil {
+			return 0, err
+		}
+		avg, err := population.Run(e, opt.Horizon)
+		if err != nil {
+			return 0, err
+		}
+		return eta1 - avg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics["regret/group"] = group.Mean()
+	if err := table.AddRow("social group (this paper)", "one sample/step", "1 word", F(group.Mean())); err != nil {
+		return nil, err
+	}
+
+	hedge, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+		environ, err := env.NewIIDBernoulli(qualities)
+		if err != nil {
+			return 0, err
+		}
+		h, err := mwu.NewHedgeOptimal(opt.M, opt.Horizon)
+		if err != nil {
+			return 0, err
+		}
+		r := rng.New(SeedFor(opt.Seed+1, rep))
+		rewards := make([]float64, opt.M)
+		for t := 0; t < opt.Horizon; t++ {
+			if err := environ.Step(r, rewards); err != nil {
+				return 0, err
+			}
+			if _, err := h.Observe(rewards); err != nil {
+				return 0, err
+			}
+		}
+		return h.AverageRegretAgainst(eta1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics["regret/hedge"] = hedge.Mean()
+	if err := table.AddRow("Hedge, horizon-tuned rate", "full vector/step", "m weights", F(hedge.Mean())); err != nil {
+		return nil, err
+	}
+
+	bandits := map[string]func() (bandit.Policy, error){
+		"eps-greedy (eps=0.05)": func() (bandit.Policy, error) { return bandit.NewEpsilonGreedy(opt.M, 0.05) },
+		"UCB1":                  func() (bandit.Policy, error) { return bandit.NewUCB1(opt.M) },
+		"Thompson sampling":     func() (bandit.Policy, error) { return bandit.NewThompson(opt.M) },
+	}
+	names := []string{"eps-greedy (eps=0.05)", "UCB1", "Thompson sampling"}
+	for i, name := range names {
+		mk := bandits[name]
+		summary, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+			p, err := mk()
+			if err != nil {
+				return 0, err
+			}
+			res, err := bandit.Run(p, qualities, opt.Horizon, rng.New(SeedFor(opt.Seed+uint64(2+i), rep)))
+			if err != nil {
+				return 0, err
+			}
+			return res.AverageRegret, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		metrics["regret/"+name] = summary.Mean()
+		if err := table.AddRow("isolated agent: "+name, "own arm only", "2m counters", F(summary.Mean())); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{ID: "E07", Table: table, Metrics: metrics}, nil
+}
+
+func mustHedgeBound(m, t int) float64 {
+	b, err := regret.HedgeOptimalBound(m, t)
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// E08Options configures the Ellison–Fudenberg reduction experiment.
+type E08Options struct {
+	N          int
+	ShockScale float64
+	Steps      int
+	Reps       int
+	Seed       uint64
+}
+
+// DefaultE08Options sizes the experiment for seconds-scale runtime.
+func DefaultE08Options() E08Options {
+	return E08Options{N: 2000, ShockScale: 1, Steps: 400, Reps: 10, Seed: 8}
+}
+
+// E08WordOfMouth reproduces Section 2.1, example 2: continuous rewards
+// with player-specific shocks reduce to the binary model. We (a)
+// estimate the induced (α, β) from the shock rule by Monte Carlo, (b)
+// verify α ≈ 1−β (symmetric shocks), and (c) run the finite dynamics
+// with the induced rule on the correlated exactly-one-good environment
+// and confirm convergence to the better option.
+func E08WordOfMouth(opt E08Options) (*Result, error) {
+	if opt.N <= 0 || opt.ShockScale <= 0 || opt.Steps <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E08 %+v", ErrBadOptions, opt)
+	}
+	shock, err := dist.NewLogistic(0, opt.ShockScale)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := agent.NewShockThreshold(shock)
+	if err != nil {
+		return nil, err
+	}
+	// Reward gap distribution: r1−r2 for r1~N(1,1), r2~N(0,1) is
+	// N(1, sqrt 2).
+	gap, err := dist.NewNormal(1, 1.4142135623730951)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(opt.Seed)
+	induced, err := rule.InducedLinear(r, gap, 200000)
+	if err != nil {
+		return nil, err
+	}
+	// eta_1 = P[r1 > r2] = Phi(1/sqrt 2).
+	const eta1 = 0.76024993890652332
+	environQual := eta1
+
+	table, err := NewTable("E08 Word-of-mouth reduction (Ellison-Fudenberg)",
+		"quantity", "value")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = "continuous rewards N(1,1) vs N(0,1), logistic shocks; reduced to binary model"
+	metrics := map[string]float64{
+		"alpha":      induced.Alpha(),
+		"beta":       induced.Beta(),
+		"alpha+beta": induced.Alpha() + induced.Beta(),
+		"eta1":       environQual,
+	}
+	rows := [][2]string{
+		{"induced alpha", F(induced.Alpha())},
+		{"induced beta", F(induced.Beta())},
+		{"alpha+beta (symmetric shocks -> ~1)", F(induced.Alpha() + induced.Beta())},
+		{"eta1 = P[r1 > r2]", F(environQual)},
+	}
+	for _, row := range rows {
+		if err := table.AddRow(row[0], row[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	linear, err := agent.NewLinear(induced.Alpha(), induced.Beta())
+	if err != nil {
+		return nil, err
+	}
+	share, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+		environ, err := env.NewExactlyOneGood(environQual)
+		if err != nil {
+			return 0, err
+		}
+		e, err := population.NewAggregateEngine(population.Config{
+			N: opt.N, Mu: 0.02, Rule: linear, Env: environ,
+			Seed: SeedFor(opt.Seed+1, rep),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := population.Run(e, opt.Steps*3/4); err != nil {
+			return 0, err
+		}
+		window := opt.Steps / 4
+		sum := 0.0
+		for i := 0; i < window; i++ {
+			if err := e.Step(); err != nil {
+				return 0, err
+			}
+			sum += e.Popularity()[0]
+		}
+		return sum / float64(window), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics["q1"] = share.Mean()
+	if err := table.AddRow("late-window share of option 1", F(share.Mean())); err != nil {
+		return nil, err
+	}
+	return &Result{ID: "E08", Table: table, Metrics: metrics}, nil
+}
+
+// E09Options configures the investor-copying experiment.
+type E09Options struct {
+	N     int
+	M     int
+	Eta1  float64
+	Betas []float64
+	Steps int
+	Reps  int
+	Seed  uint64
+}
+
+// DefaultE09Options sizes the experiment for seconds-scale runtime.
+func DefaultE09Options() E09Options {
+	return E09Options{
+		N:     2000,
+		M:     4,
+		Eta1:  0.65,
+		Betas: []float64{0.55, 0.6, 0.65, 0.7},
+		Steps: 2000,
+		Reps:  10,
+		Seed:  9,
+	}
+}
+
+// E09Investors reproduces Section 2.1, example 1 (Krafft et al.): the
+// model with α = 1−β, η_1 > 1/2 = η_2 = … = η_m, as validated on
+// online-investor copy trading. Higher β (sharper adoption) should give
+// faster, stronger concentration on the good asset.
+func E09Investors(opt E09Options) (*Result, error) {
+	if opt.N <= 0 || opt.M < 2 || opt.Eta1 <= 0.5 || opt.Eta1 > 1 || len(opt.Betas) == 0 || opt.Steps <= 0 || opt.Reps <= 0 {
+		return nil, fmt.Errorf("%w: E09 %+v", ErrBadOptions, opt)
+	}
+	qualities := make([]float64, opt.M)
+	qualities[0] = opt.Eta1
+	for j := 1; j < opt.M; j++ {
+		qualities[j] = 0.5
+	}
+	table, err := NewTable("E09 Investor copy trading (Krafft et al. instantiation)",
+		"beta", "delta", "avg Q1 (late)", "regret", "bound 6d")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = fmt.Sprintf("eta = (%.2f, 0.5, ...), alpha = 1-beta", opt.Eta1)
+	metrics := map[string]float64{}
+	for _, beta := range opt.Betas {
+		rule, err := agent.NewSymmetric(beta)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := regret.Delta(beta)
+		if err != nil {
+			return nil, err
+		}
+		// Any µ with 6µ ≤ δ² satisfies the theorems; the investor gap
+		// η_1 − 1/2 is weak, so use a small fixed µ rather than the
+		// maximal one to keep the uniform-exploration dilution low.
+		mu, err := regret.MaxMu(delta)
+		if err != nil {
+			return nil, err
+		}
+		if mu > 0.02 {
+			mu = 0.02
+		}
+		window := opt.Steps / 4
+		type pair struct{ q1, reward float64 }
+		results := make([]pair, opt.Reps)
+		if _, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+			environ, err := env.NewIIDBernoulli(qualities)
+			if err != nil {
+				return 0, err
+			}
+			e, err := population.NewAggregateEngine(population.Config{
+				N: opt.N, Mu: mu, Rule: rule, Env: environ,
+				Seed: SeedFor(opt.Seed, rep),
+			})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := population.Run(e, opt.Steps-window); err != nil {
+				return 0, err
+			}
+			before := e.CumulativeGroupReward()
+			q1 := 0.0
+			for i := 0; i < window; i++ {
+				if err := e.Step(); err != nil {
+					return 0, err
+				}
+				q1 += e.Popularity()[0]
+			}
+			results[rep] = pair{
+				q1:     q1 / float64(window),
+				reward: (e.CumulativeGroupReward() - before) / float64(window),
+			}
+			return 0, nil
+		}); err != nil {
+			return nil, err
+		}
+		meanQ1, meanReward := 0.0, 0.0
+		for _, p := range results {
+			meanQ1 += p.q1 / float64(opt.Reps)
+			meanReward += p.reward / float64(opt.Reps)
+		}
+		reg := opt.Eta1 - meanReward
+		metrics[fmt.Sprintf("q1/beta=%.2f", beta)] = meanQ1
+		metrics[fmt.Sprintf("regret/beta=%.2f", beta)] = reg
+		if err := table.AddRow(F2(beta), F(delta), F(meanQ1), F(reg), F(6*delta)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{ID: "E09", Table: table, Metrics: metrics}, nil
+}
+
+// E10Options configures the topology experiment.
+type E10Options struct {
+	N      int
+	Beta   float64
+	Mu     float64
+	Steps  int
+	Target float64
+	Reps   int
+	Seed   uint64
+}
+
+// DefaultE10Options sizes the experiment for seconds-scale runtime.
+func DefaultE10Options() E10Options {
+	return E10Options{N: 500, Beta: 0.7, Mu: 0.02, Steps: 800, Target: 0.6, Reps: 5, Seed: 10}
+}
+
+// E10Topology explores the conclusion's network extension: the same
+// dynamics with neighbor-restricted sampling across topologies. The
+// expected shape: all connected topologies still concentrate on the
+// best option; sparser / higher-diameter graphs take longer.
+func E10Topology(opt E10Options) (*Result, error) {
+	if opt.N < 10 || opt.Steps <= 0 || opt.Reps <= 0 || opt.Target <= 0 || opt.Target > 1 {
+		return nil, fmt.Errorf("%w: E10 %+v", ErrBadOptions, opt)
+	}
+	rule, err := agent.NewSymmetric(opt.Beta)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < opt.N {
+		side++
+	}
+	builders := []struct {
+		name string
+		mk   func(r *rng.RNG) (*graph.Graph, error)
+	}{
+		{name: "complete", mk: func(*rng.RNG) (*graph.Graph, error) { return graph.Complete(opt.N) }},
+		{name: "ring", mk: func(*rng.RNG) (*graph.Graph, error) { return graph.Ring(opt.N) }},
+		{name: "torus", mk: func(*rng.RNG) (*graph.Graph, error) { return graph.Torus(side, side) }},
+		{name: "star", mk: func(*rng.RNG) (*graph.Graph, error) { return graph.Star(opt.N) }},
+		{name: "erdos-renyi", mk: func(r *rng.RNG) (*graph.Graph, error) {
+			return graph.ErdosRenyi(opt.N, 8/float64(opt.N), r)
+		}},
+		{name: "watts-strogatz", mk: func(r *rng.RNG) (*graph.Graph, error) {
+			return graph.WattsStrogatz(opt.N, 3, 0.1, r)
+		}},
+		{name: "barabasi-albert", mk: func(r *rng.RNG) (*graph.Graph, error) {
+			return graph.BarabasiAlbert(opt.N, 3, r)
+		}},
+	}
+	table, err := NewTable("E10 Topology sweep (network extension)",
+		"topology", "avg degree", "clustering", "avg path", "late share of best", "mean hitting time to target")
+	if err != nil {
+		return nil, err
+	}
+	table.Note = fmt.Sprintf("N=%d, target share %.2f; hitting time capped at %d steps", opt.N, opt.Target, opt.Steps)
+	metrics := map[string]float64{}
+	for _, b := range builders {
+		b := b
+		type out struct {
+			share float64
+			hit   float64
+			deg   float64
+			clust float64
+			path  float64
+		}
+		results := make([]out, opt.Reps)
+		if _, err := ParallelSummary(opt.Reps, func(rep int) (float64, error) {
+			seed := SeedFor(opt.Seed, rep)
+			g, err := b.mk(rng.New(seed))
+			if err != nil {
+				return 0, err
+			}
+			// Four options so the population starts at share ~1/4 and
+			// the hitting time to the target is informative.
+			environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3, 0.3, 0.3})
+			if err != nil {
+				return 0, err
+			}
+			d, err := netpop.New(netpop.Config{Graph: g, Mu: opt.Mu, Rule: rule, Env: environ, Seed: seed + 1})
+			if err != nil {
+				return 0, err
+			}
+			steps, reached, err := netpop.HittingTime(d, 0, opt.Target, opt.Steps)
+			if err != nil {
+				return 0, err
+			}
+			hit := float64(steps)
+			if !reached {
+				hit = float64(opt.Steps)
+			}
+			// Late-window share.
+			window := opt.Steps / 4
+			sum := 0.0
+			for i := 0; i < window; i++ {
+				if err := d.Step(); err != nil {
+					return 0, err
+				}
+				sum += d.Fractions()[0]
+			}
+			res := out{share: sum / float64(window), hit: hit, deg: g.AvgDegree()}
+			if rep == 0 {
+				// Structural metrics are expensive (all-pairs BFS);
+				// one instance per topology suffices for the table.
+				res.clust = g.ClusteringCoefficient()
+				res.path = g.AveragePathLength()
+			}
+			results[rep] = res
+			return 0, nil
+		}); err != nil {
+			return nil, err
+		}
+		var share, hit, deg float64
+		for _, o := range results {
+			share += o.share / float64(opt.Reps)
+			hit += o.hit / float64(opt.Reps)
+			deg += o.deg / float64(opt.Reps)
+		}
+		metrics["share/"+b.name] = share
+		metrics["hit/"+b.name] = hit
+		if err := table.AddRow(b.name, F2(deg), F(results[0].clust), F2(results[0].path),
+			F(share), F2(hit)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{ID: "E10", Table: table, Metrics: metrics}, nil
+}

@@ -1,0 +1,10 @@
+package experiment
+
+import "math"
+
+// Small wrappers keep the experiment files free of repeated math.X
+// qualifications in formula-heavy code.
+
+func abs(x float64) float64  { return math.Abs(x) }
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

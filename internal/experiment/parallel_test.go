@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParallelSummaryValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := ParallelSummary(0, func(int) (float64, error) { return 0, nil }); !errors.Is(err, ErrBadOptions) {
+		t.Error("reps=0 accepted")
+	}
+	if _, err := ParallelSummary(5, nil); !errors.Is(err, ErrBadOptions) {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestParallelSummaryCollectsAll(t *testing.T) {
+	t.Parallel()
+
+	const reps = 100
+	s, err := ParallelSummary(reps, func(rep int) (float64, error) {
+		return float64(rep), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != reps {
+		t.Errorf("Count = %d, want %d", s.Count(), reps)
+	}
+	if want := float64(reps-1) / 2; math.Abs(s.Mean()-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", s.Mean(), want)
+	}
+	if s.Min() != 0 || s.Max() != reps-1 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestParallelSummaryPropagatesError(t *testing.T) {
+	t.Parallel()
+
+	errBoom := errors.New("boom")
+	_, err := ParallelSummary(20, func(rep int) (float64, error) {
+		if rep == 13 {
+			return 0, errBoom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestParallelSummaryDeterministic(t *testing.T) {
+	t.Parallel()
+
+	run := func() float64 {
+		s, err := ParallelSummary(50, func(rep int) (float64, error) {
+			return float64(SeedFor(7, rep) % 1000), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean()
+	}
+	if run() != run() {
+		t.Error("parallel summary not deterministic")
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	t.Parallel()
+
+	seen := make(map[uint64]bool)
+	for rep := 0; rep < 1000; rep++ {
+		s := SeedFor(42, rep)
+		if seen[s] {
+			t.Fatalf("seed collision at rep %d", rep)
+		}
+		seen[s] = true
+	}
+}

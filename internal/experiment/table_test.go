@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewTable("t"); !errors.Is(err, ErrBadTable) {
+		t.Error("no columns accepted")
+	}
+}
+
+func TestAddRowValidation(t *testing.T) {
+	t.Parallel()
+
+	tab, err := NewTable("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("1"); !errors.Is(err, ErrBadTable) {
+		t.Error("short row accepted")
+	}
+	if err := tab.AddRow("1", "2", "3"); !errors.Is(err, ErrBadTable) {
+		t.Error("long row accepted")
+	}
+	if err := tab.AddRow("1", "2"); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	t.Parallel()
+
+	tab, err := NewTable("My Title", "name", "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Note = "a note"
+	if err := tab.AddRow("alpha", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("much-longer-name", "22"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"My Title", "name", "alpha", "much-longer-name", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows, note.
+	if len(lines) != 6 {
+		t.Errorf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	t.Parallel()
+
+	tab, err := NewTable("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("x,y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",2\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t.Parallel()
+
+	if F(1.23456789) != "1.2346" {
+		t.Errorf("F = %s", F(1.23456789))
+	}
+	if F2(1.235) != "1.24" && F2(1.235) != "1.23" { // banker's rounding tolerance
+		t.Errorf("F2 = %s", F2(1.235))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %s", I(42))
+	}
+	if B(true) != "yes" || B(false) != "no" {
+		t.Error("B wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package graph
+
+// Small-world metrics: clustering coefficient and average shortest-path
+// length. Together they characterize the Watts–Strogatz regime (high
+// clustering, short paths) that makes social networks efficient
+// conduits for the learning dynamics.
+
+// ClusteringCoefficient returns the average local clustering
+// coefficient: for each node with degree ≥ 2, the fraction of its
+// neighbor pairs that are themselves adjacent, averaged over all such
+// nodes. Returns 0 for graphs with no node of degree ≥ 2.
+func (g *Graph) ClusteringCoefficient() float64 {
+	n := len(g.adj)
+	adjSet := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		adjSet[u] = make(map[int]bool, len(g.adj[u]))
+		for _, v := range g.adj[u] {
+			adjSet[u][v] = true
+		}
+	}
+	total := 0.0
+	counted := 0
+	for u := 0; u < n; u++ {
+		deg := len(g.adj[u])
+		if deg < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < deg; i++ {
+			for j := i + 1; j < deg; j++ {
+				if adjSet[g.adj[u][i]][g.adj[u][j]] {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(deg*(deg-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// AveragePathLength returns the mean shortest-path length over all
+// ordered pairs of distinct nodes, or -1 if the graph is disconnected
+// (or has fewer than two nodes). It runs BFS from every node.
+func (g *Graph) AveragePathLength() float64 {
+	n := len(g.adj)
+	if n < 2 {
+		return -1
+	}
+	totalDist := 0.0
+	dist := make([]int, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		reached := 1
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					totalDist += float64(dist[v])
+					reached++
+					queue = append(queue, v)
+				}
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return totalDist / float64(n*(n-1))
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := range g.adj {
+		counts[len(g.adj[u])]++
+	}
+	return counts
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestClusteringCoefficientKnownGraphs(t *testing.T) {
+	t.Parallel()
+
+	// Complete graph: every neighbor pair adjacent -> 1.
+	k5, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k5.ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K5 clustering = %v, want 1", got)
+	}
+	// Ring (n > 3): no triangles -> 0.
+	ring, err := Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.ClusteringCoefficient(); got != 0 {
+		t.Errorf("C10 clustering = %v, want 0", got)
+	}
+	// Triangle: 1.
+	tri, err := Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("C3 clustering = %v, want 1", got)
+	}
+	// Star: leaves have degree 1 (skipped), hub's neighbors never
+	// adjacent -> 0.
+	star, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := star.ClusteringCoefficient(); got != 0 {
+		t.Errorf("star clustering = %v, want 0", got)
+	}
+}
+
+func TestClusteringCoefficientLattice(t *testing.T) {
+	t.Parallel()
+
+	// WS lattice with k=2 (degree 4): known C = 3(k-1)/(2(2k-1)) = 0.5.
+	lattice, err := WattsStrogatz(100, 2, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lattice.ClusteringCoefficient(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("lattice clustering = %v, want 0.5", got)
+	}
+}
+
+func TestAveragePathLengthKnownGraphs(t *testing.T) {
+	t.Parallel()
+
+	k4, err := Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k4.AveragePathLength(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K4 APL = %v, want 1", got)
+	}
+	// C4: distances from any node are 1,1,2 -> mean 4/3.
+	c4, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c4.AveragePathLength(); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("C4 APL = %v, want 4/3", got)
+	}
+	// Disconnected -> -1.
+	dis, err := NewFromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dis.AveragePathLength(); got != -1 {
+		t.Errorf("disconnected APL = %v, want -1", got)
+	}
+	single, err := Complete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.AveragePathLength(); got != -1 {
+		t.Errorf("single-node APL = %v, want -1", got)
+	}
+}
+
+// TestSmallWorldRegime verifies the defining Watts–Strogatz property:
+// moderate rewiring keeps clustering high (close to the lattice) while
+// collapsing the average path length.
+func TestSmallWorldRegime(t *testing.T) {
+	t.Parallel()
+
+	const n, k = 300, 3
+	lattice, err := WattsStrogatz(n, k, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := WattsStrogatz(n, k, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl0, cl1 := lattice.ClusteringCoefficient(), sw.ClusteringCoefficient()
+	l0, l1 := lattice.AveragePathLength(), sw.AveragePathLength()
+	if l0 < 0 || l1 < 0 {
+		t.Skip("disconnected instance")
+	}
+	if cl1 < cl0/3 {
+		t.Errorf("rewiring destroyed clustering: %v -> %v", cl0, cl1)
+	}
+	if l1 > l0/2 {
+		t.Errorf("rewiring did not shorten paths: %v -> %v", l0, l1)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	t.Parallel()
+
+	star, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := star.DegreeHistogram()
+	if len(hist) != 5 {
+		t.Fatalf("histogram length %d", len(hist))
+	}
+	if hist[1] != 4 || hist[4] != 1 {
+		t.Errorf("histogram = %v, want 4 leaves and 1 hub", hist)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram total %d", total)
+	}
+}

@@ -1,0 +1,38 @@
+package infinite
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/env"
+)
+
+func TestEnvironmentFailurePropagates(t *testing.T) {
+	t.Parallel()
+
+	inner := mustEnv(t, 0.9, 0.3)
+	faulty, err := env.NewFaulty(inner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := baseConfig(t)
+	c.Env = faulty
+	p, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Step(); err != nil {
+			t.Fatalf("step %d failed early: %v", i+1, err)
+		}
+	}
+	if err := p.Step(); !errors.Is(err, env.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if p.T() != 2 {
+		t.Errorf("T advanced through failure: %d", p.T())
+	}
+	if _, err := Run(p, 5); !errors.Is(err, env.ErrInjected) {
+		t.Error("Run swallowed the failure")
+	}
+}

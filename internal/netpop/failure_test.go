@@ -1,0 +1,38 @@
+package netpop
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/env"
+)
+
+func TestEnvironmentFailurePropagates(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	faulty, err := env.NewFaulty(c.Env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Env = faulty
+	d, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Step(); err != nil {
+		t.Fatalf("first step failed: %v", err)
+	}
+	if err := d.Step(); !errors.Is(err, env.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if d.T() != 1 {
+		t.Errorf("T advanced through failure: %d", d.T())
+	}
+	if _, err := Run(d, 3); !errors.Is(err, env.ErrInjected) {
+		t.Error("Run swallowed the failure")
+	}
+	if _, _, err := HittingTime(d, 0, 0.9, 10); !errors.Is(err, env.ErrInjected) {
+		t.Error("HittingTime swallowed the failure")
+	}
+}

@@ -1,0 +1,225 @@
+// Package netpop implements the paper's future-work extension: the
+// social-learning dynamics on a social network, where stage-one sampling
+// observes a uniformly random *neighbor* instead of a uniformly random
+// member of the whole group.
+//
+// The state model differs slightly from the well-mixed dynamics of
+// package population: every individual always holds a current option
+// (initialized uniformly at random). At each step individual i
+//
+//  1. with probability µ considers a uniformly random option, otherwise
+//     considers the option currently held by a uniformly random
+//     neighbor; and
+//  2. observes the considered option's fresh quality signal and switches
+//     to it with probability β (good signal) or α (bad signal);
+//     otherwise it keeps its current option.
+//
+// "Sitting out" therefore means retaining yesterday's choice, which
+// keeps every node observable by its neighbors at all times — the
+// natural reading of "observe the option that individual chose in the
+// previous time step" when sampling is local. On the complete graph this
+// is the lazy variant of the paper's dynamics and exhibits the same
+// convergence behaviour.
+package netpop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ErrBadConfig reports an invalid network-dynamics configuration.
+var ErrBadConfig = errors.New("netpop: invalid config")
+
+// Config parameterizes the network dynamics.
+type Config struct {
+	// Graph is the social network; its node count is the population
+	// size. Nodes with no neighbors always explore uniformly.
+	Graph *graph.Graph
+	// Mu is the exploration probability.
+	Mu float64
+	// Rule is the shared adoption rule (used when Rules is nil).
+	Rule agent.Rule
+	// Rules optionally provides heterogeneous per-node adoption rules;
+	// its size must equal the graph's node count.
+	Rules *agent.Population
+	// Env generates the per-step quality signals.
+	Env env.Environment
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Dynamics is the network-restricted simulator. Create with New.
+type Dynamics struct {
+	g       *graph.Graph
+	mu      float64
+	rules   []agent.Rule
+	environ env.Environment
+	r       *rng.RNG
+
+	m       int
+	t       int
+	choice  []int
+	next    []int
+	rewards []float64
+	fracs   []float64
+
+	groupRew  float64
+	cumReward float64
+}
+
+// New validates the config and initializes every node on a uniformly
+// random option.
+func New(c Config) (*Dynamics, error) {
+	if c.Graph == nil || c.Graph.N() == 0 {
+		return nil, fmt.Errorf("%w: nil or empty graph", ErrBadConfig)
+	}
+	if math.IsNaN(c.Mu) || c.Mu < 0 || c.Mu > 1 {
+		return nil, fmt.Errorf("%w: mu=%v", ErrBadConfig, c.Mu)
+	}
+	if c.Rule == nil && c.Rules == nil {
+		return nil, fmt.Errorf("%w: nil rule", ErrBadConfig)
+	}
+	if c.Rules != nil && c.Rules.Size() != c.Graph.N() {
+		return nil, fmt.Errorf("%w: %d rules for %d nodes", ErrBadConfig, c.Rules.Size(), c.Graph.N())
+	}
+	if c.Env == nil {
+		return nil, fmt.Errorf("%w: nil environment", ErrBadConfig)
+	}
+	m := c.Env.Options()
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: %d options", ErrBadConfig, m)
+	}
+	rules := make([]agent.Rule, c.Graph.N())
+	for i := range rules {
+		if c.Rules != nil {
+			rules[i] = c.Rules.Rule(i)
+		} else {
+			rules[i] = c.Rule
+		}
+	}
+	d := &Dynamics{
+		g:       c.Graph,
+		mu:      c.Mu,
+		rules:   rules,
+		environ: c.Env,
+		r:       rng.New(c.Seed),
+		m:       m,
+		choice:  make([]int, c.Graph.N()),
+		next:    make([]int, c.Graph.N()),
+		rewards: make([]float64, m),
+		fracs:   make([]float64, m),
+	}
+	for i := range d.choice {
+		d.choice[i] = d.r.Intn(m)
+	}
+	d.refreshFracs()
+	return d, nil
+}
+
+func (d *Dynamics) refreshFracs() {
+	for j := range d.fracs {
+		d.fracs[j] = 0
+	}
+	inc := 1 / float64(len(d.choice))
+	for _, j := range d.choice {
+		d.fracs[j] += inc
+	}
+}
+
+// N returns the population size.
+func (d *Dynamics) N() int { return d.g.N() }
+
+// T returns the number of completed steps.
+func (d *Dynamics) T() int { return d.t }
+
+// Fractions returns a copy of the per-option population shares.
+func (d *Dynamics) Fractions() []float64 {
+	out := make([]float64, d.m)
+	copy(out, d.fracs)
+	return out
+}
+
+// Choice returns node i's current option.
+func (d *Dynamics) Choice(i int) int { return d.choice[i] }
+
+// GroupReward returns the latest step's Σ_j frac^{t−1}_j · R^t_j.
+func (d *Dynamics) GroupReward() float64 { return d.groupRew }
+
+// CumulativeGroupReward returns the running sum of group rewards.
+func (d *Dynamics) CumulativeGroupReward() float64 { return d.cumReward }
+
+// Step advances one time step.
+func (d *Dynamics) Step() error {
+	// Stage 1: pick the option each node considers. Nodes read the
+	// *current* (time-t) choices of neighbors, so decisions within a
+	// step are simultaneous; the considered options are staged in next.
+	for i := range d.next {
+		if d.r.Bernoulli(d.mu) {
+			d.next[i] = d.r.Intn(d.m)
+			continue
+		}
+		nbrs := d.g.Neighbors(i)
+		if len(nbrs) == 0 {
+			d.next[i] = d.r.Intn(d.m)
+			continue
+		}
+		d.next[i] = d.choice[nbrs[d.r.Intn(len(nbrs))]]
+	}
+
+	if err := d.environ.Step(d.r, d.rewards); err != nil {
+		return fmt.Errorf("netpop: environment step: %w", err)
+	}
+	g := 0.0
+	for j, rew := range d.rewards {
+		g += d.fracs[j] * rew
+	}
+	d.groupRew = g
+	d.cumReward += g
+
+	// Stage 2: adopt or retain.
+	for i, j := range d.next {
+		if d.rules[i].Adopt(d.r, d.rewards[j]) {
+			d.choice[i] = j
+		}
+	}
+	d.refreshFracs()
+	d.t++
+	return nil
+}
+
+// Run advances steps steps and returns the time-averaged group reward.
+func Run(d *Dynamics, steps int) (float64, error) {
+	if d == nil || steps <= 0 {
+		return 0, fmt.Errorf("%w: run steps=%d", ErrBadConfig, steps)
+	}
+	before := d.cumReward
+	for i := 0; i < steps; i++ {
+		if err := d.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return (d.cumReward - before) / float64(steps), nil
+}
+
+// HittingTime runs until the best option's share reaches target and
+// returns the step count, or maxSteps with reached=false.
+func HittingTime(d *Dynamics, best int, target float64, maxSteps int) (steps int, reached bool, err error) {
+	if d == nil || best < 0 || best >= d.m || target <= 0 || target > 1 || maxSteps <= 0 {
+		return 0, false, fmt.Errorf("%w: hitting best=%d target=%v maxSteps=%d", ErrBadConfig, best, target, maxSteps)
+	}
+	for steps = 0; steps < maxSteps; steps++ {
+		if d.fracs[best] >= target {
+			return steps, true, nil
+		}
+		if err := d.Step(); err != nil {
+			return steps, false, err
+		}
+	}
+	return steps, d.fracs[best] >= target, nil
+}

@@ -1,0 +1,340 @@
+package netpop
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func mustGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.Complete(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph: mustGraph(t),
+		Mu:    0.02,
+		Rule:  rule,
+		Env:   environ,
+		Seed:  1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil graph", mutate: func(c *Config) { c.Graph = nil }},
+		{name: "bad mu", mutate: func(c *Config) { c.Mu = -1 }},
+		{name: "nil rule", mutate: func(c *Config) { c.Rule = nil }},
+		{name: "nil env", mutate: func(c *Config) { c.Env = nil }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			c := baseConfig(t)
+			tt.mutate(&c)
+			if _, err := New(c); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("want ErrBadConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestInitialStateUniformish(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	g, err := graph.Complete(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Graph = g
+	d, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := d.Fractions()
+	if !stats.IsProbabilityVector(fr, 1e-9) {
+		t.Fatalf("fractions %v not a probability vector", fr)
+	}
+	if math.Abs(fr[0]-0.5) > 0.05 {
+		t.Errorf("initial fractions %v far from uniform", fr)
+	}
+	if d.N() != 10000 || d.T() != 0 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFractionsTrackChoices(t *testing.T) {
+	t.Parallel()
+
+	d, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]float64, 2)
+		for node := 0; node < d.N(); node++ {
+			counts[d.Choice(node)]++
+		}
+		fr := d.Fractions()
+		for j := range counts {
+			if math.Abs(counts[j]/float64(d.N())-fr[j]) > 1e-12 {
+				t.Fatalf("fractions inconsistent with choices at step %d", i)
+			}
+		}
+	}
+}
+
+func TestConvergesOnCompleteGraph(t *testing.T) {
+	t.Parallel()
+
+	d, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0.0
+	const window = 200
+	for i := 0; i < window; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += d.Fractions()[0]
+	}
+	if avg := sum / window; avg < 0.7 {
+		t.Errorf("average best-option share %v, want > 0.7", avg)
+	}
+}
+
+func TestConvergesOnSparseGraphs(t *testing.T) {
+	t.Parallel()
+
+	builders := map[string]func() (*graph.Graph, error){
+		"ring":  func() (*graph.Graph, error) { return graph.Ring(100) },
+		"star":  func() (*graph.Graph, error) { return graph.Star(100) },
+		"torus": func() (*graph.Graph, error) { return graph.Torus(10, 10) },
+	}
+	for name, mk := range builders {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := baseConfig(t)
+			c.Graph = g
+			c.Seed = 11
+			d, err := New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 600; i++ {
+				if err := d.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sum := 0.0
+			const window = 300
+			for i := 0; i < window; i++ {
+				if err := d.Step(); err != nil {
+					t.Fatal(err)
+				}
+				sum += d.Fractions()[0]
+			}
+			if avg := sum / window; avg < 0.6 {
+				t.Errorf("%s: average best-option share %v, want > 0.6", name, avg)
+			}
+		})
+	}
+}
+
+func TestGroupRewardBounds(t *testing.T) {
+	t.Parallel()
+
+	d, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Run(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < 0 || avg > 1 {
+		t.Errorf("average group reward %v out of [0,1]", avg)
+	}
+	if d.T() != 100 {
+		t.Errorf("T = %d", d.T())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Run(nil, 5); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil dynamics accepted")
+	}
+	d, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestHittingTime(t *testing.T) {
+	t.Parallel()
+
+	d, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := HittingTime(d, 5, 0.5, 100); !errors.Is(err, ErrBadConfig) {
+		t.Error("bad best index accepted")
+	}
+	if _, _, err := HittingTime(d, 0, 0, 100); !errors.Is(err, ErrBadConfig) {
+		t.Error("target=0 accepted")
+	}
+	steps, reached, err := HittingTime(d, 0, 0.8, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Errorf("best option never reached 80%% in %d steps", steps)
+	}
+}
+
+func TestHeterogeneousRules(t *testing.T) {
+	t.Parallel()
+
+	strict, err := agent.NewSymmetric(0.73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := agent.NewSymmetric(0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := make([]agent.Rule, 100)
+	for i := range rules {
+		if i%2 == 0 {
+			rules[i] = strict
+		} else {
+			rules[i] = lax
+		}
+	}
+	pop, err := agent.NewHeterogeneous(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := baseConfig(t)
+	c.Rule = nil
+	c.Rules = pop
+	d, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := d.Fractions(); f[0] < 0.6 {
+		t.Errorf("heterogeneous network share %v, want > 0.6", f[0])
+	}
+
+	// Mismatched rule count rejected.
+	small, err := agent.NewHomogeneous(10, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Rules = small
+	if _, err := New(c); !errors.Is(err, ErrBadConfig) {
+		t.Error("mismatched rules size accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	t.Parallel()
+
+	a, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := a.Fractions(), b.Fractions()
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("same-seed runs diverged at step %d", i)
+			}
+		}
+	}
+}
+
+func BenchmarkStepRing(b *testing.B) {
+	g, err := graph.Ring(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(Config{Graph: g, Mu: 0.02, Rule: rule, Env: environ, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

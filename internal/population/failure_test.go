@@ -1,0 +1,51 @@
+package population
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// TestEnvironmentFailurePropagates verifies both engines surface an
+// injected environment failure with the sentinel intact and stop
+// advancing.
+func TestEnvironmentFailurePropagates(t *testing.T) {
+	t.Parallel()
+
+	for name, build := range map[string]func(Config) (Engine, error){
+		"agent":     func(c Config) (Engine, error) { return NewAgentEngine(c) },
+		"aggregate": func(c Config) (Engine, error) { return NewAggregateEngine(c) },
+	} {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			inner := mustEnv(t, 0.9, 0.3)
+			faulty, err := env.NewFaulty(inner, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := baseConfig(t)
+			c.Env = faulty
+			e, err := build(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := e.Step(); err != nil {
+					t.Fatalf("premature failure at step %d: %v", i+1, err)
+				}
+			}
+			if err := e.Step(); !errors.Is(err, env.ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", err)
+			}
+			if e.T() != 3 {
+				t.Errorf("T advanced through a failed step: %d", e.T())
+			}
+			// Run must also propagate.
+			if _, err := Run(e, 5); !errors.Is(err, env.ErrInjected) {
+				t.Error("Run swallowed the failure")
+			}
+		})
+	}
+}

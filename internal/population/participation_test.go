@@ -1,0 +1,82 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+// TestParticipationMatchesExpectation: in steady state the expected
+// committed fraction is Σ_j c_j·a_j where c_j is the consideration
+// probability and a_j = η_j·β + (1−η_j)·(1−β) the adoption
+// probability. We verify the simpler exact cases.
+func TestParticipationMatchesExpectation(t *testing.T) {
+	t.Parallel()
+
+	// AlwaysAdopt: everyone commits every step.
+	c := baseConfig(t)
+	c.Rule = agent.AlwaysAdopt()
+	c.N = 10000
+	e, err := NewAggregateEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Participation(); got != 1 {
+		t.Errorf("AlwaysAdopt participation = %v, want 1", got)
+	}
+
+	// Symmetric rule with mu=1 (uniform consideration): expected
+	// participation = mean_j a_j.
+	c2 := baseConfig(t)
+	c2.Mu = 1
+	c2.N = 200000
+	e2, err := NewAggregateEngine(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eta = (0.9, 0.3), beta = 0.7:
+	// a_1 = 0.9*0.7 + 0.1*0.3 = 0.66; a_2 = 0.3*0.7 + 0.7*0.3 = 0.42.
+	// Uniform consideration => E[participation | R] varies by R; over
+	// many steps the mean is (0.66+0.42)/2 = 0.54.
+	sum := 0.0
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		if err := e2.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += e2.Participation()
+	}
+	if got := sum / steps; math.Abs(got-0.54) > 0.02 {
+		t.Errorf("mean participation = %v, want ~0.54", got)
+	}
+}
+
+func TestParticipationBothEngines(t *testing.T) {
+	t.Parallel()
+
+	for name, build := range map[string]func(Config) (Engine, error){
+		"agent":     func(c Config) (Engine, error) { return NewAgentEngine(c) },
+		"aggregate": func(c Config) (Engine, error) { return NewAggregateEngine(c) },
+	} {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			e, err := build(baseConfig(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := e.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if p := e.Participation(); p < 0 || p > 1 {
+					t.Fatalf("participation %v out of [0,1]", p)
+				}
+			}
+		})
+	}
+}

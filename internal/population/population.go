@@ -1,0 +1,402 @@
+// Package population implements the paper's finite-population
+// distributed learning dynamics (Section 2.1).
+//
+// At every time step each of the N individuals:
+//
+//  1. Sampling — with probability µ considers a uniformly random option;
+//     with probability 1−µ considers an option drawn proportionally to
+//     its current popularity Q^t_j (equivalently, observes the choice of
+//     a uniformly random current adopter).
+//  2. Adopting — observes the option's fresh binary quality signal
+//     R^{t+1}_j and commits with probability β (good signal) or α (bad
+//     signal); otherwise sits out this step.
+//
+// Popularity is the fraction of committed individuals per option:
+// Q^t_j = D^t_j / Σ_k D^t_k.
+//
+// Two engines advance the same stochastic law:
+//
+//   - AgentEngine walks every individual explicitly (O(N + m) per step).
+//     It supports heterogeneous adoption rules.
+//   - AggregateEngine advances only per-option counts using a
+//     multinomial draw for stage one and binomial draws for stage two
+//     (O(m) per step), enabling populations of millions — the regime
+//     Theorem 4.4 needs (N ≳ m^{1/δ²}).
+//
+// In the measure-zero event that every individual sits out, popularity
+// retains its previous value (the group "remembers" yesterday's choices);
+// both engines implement the same fallback so they remain equal in law.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/dist"
+	"repro/internal/env"
+	"repro/internal/rng"
+)
+
+var (
+	// ErrBadConfig reports an invalid dynamics configuration.
+	ErrBadConfig = errors.New("population: invalid config")
+)
+
+// Engine is a finite-population dynamics simulator.
+type Engine interface {
+	// Step advances one time step of the two-stage dynamics.
+	Step() error
+	// T returns the number of completed steps.
+	T() int
+	// Popularity returns a copy of the current popularity vector Q^t.
+	Popularity() []float64
+	// Counts returns a copy of the current committed counts D^t.
+	Counts() []int
+	// LastRewards returns a copy of the latest reward vector R^t.
+	LastRewards() []float64
+	// GroupReward returns the latest step's group reward
+	// Σ_j Q^{t−1}_j · R^t_j, the summand of the paper's regret.
+	GroupReward() float64
+	// CumulativeGroupReward returns Σ_{s≤t} Σ_j Q^{s−1}_j R^s_j.
+	CumulativeGroupReward() float64
+	// Participation returns the fraction of the population that
+	// committed to an option in the latest step (the rest sat out).
+	Participation() float64
+}
+
+// Config parameterizes either engine.
+type Config struct {
+	// N is the population size.
+	N int
+	// Mu is the exploration probability µ ∈ [0, 1].
+	Mu float64
+	// Rule is the shared adoption rule (required for AggregateEngine;
+	// used by AgentEngine when Rules is nil).
+	Rule agent.Rule
+	// Rules optionally provides heterogeneous per-agent adoption rules
+	// (AgentEngine only). When set, its size must equal N.
+	Rules *agent.Population
+	// Env generates the per-step quality signals.
+	Env env.Environment
+	// InitialCounts optionally sets D^0 (length m, non-negative, at
+	// least one positive entry). When nil, the engine starts from the
+	// paper's uniform initialization Q^0_j = 1/m.
+	InitialCounts []int
+	// Seed drives all randomness of the engine.
+	Seed uint64
+}
+
+func (c *Config) validate(needShared bool) (m int, err error) {
+	if c.N <= 0 {
+		return 0, fmt.Errorf("%w: N=%d", ErrBadConfig, c.N)
+	}
+	if math.IsNaN(c.Mu) || c.Mu < 0 || c.Mu > 1 {
+		return 0, fmt.Errorf("%w: mu=%v", ErrBadConfig, c.Mu)
+	}
+	if c.Env == nil {
+		return 0, fmt.Errorf("%w: nil environment", ErrBadConfig)
+	}
+	m = c.Env.Options()
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: environment has %d options", ErrBadConfig, m)
+	}
+	if needShared || c.Rules == nil {
+		if c.Rule == nil {
+			return 0, fmt.Errorf("%w: nil adoption rule", ErrBadConfig)
+		}
+	}
+	if c.Rules != nil && c.Rules.Size() != c.N {
+		return 0, fmt.Errorf("%w: %d rules for N=%d", ErrBadConfig, c.Rules.Size(), c.N)
+	}
+	if c.InitialCounts != nil {
+		if len(c.InitialCounts) != m {
+			return 0, fmt.Errorf("%w: %d initial counts for m=%d", ErrBadConfig, len(c.InitialCounts), m)
+		}
+		total := 0
+		for j, d := range c.InitialCounts {
+			if d < 0 {
+				return 0, fmt.Errorf("%w: negative initial count at %d", ErrBadConfig, j)
+			}
+			total += d
+		}
+		if total == 0 {
+			return 0, fmt.Errorf("%w: all-zero initial counts", ErrBadConfig)
+		}
+	}
+	return m, nil
+}
+
+// initialPopularity builds Q^0 from the config.
+func initialPopularity(c *Config, m int) []float64 {
+	q := make([]float64, m)
+	if c.InitialCounts == nil {
+		for j := range q {
+			q[j] = 1 / float64(m)
+		}
+		return q
+	}
+	total := 0
+	for _, d := range c.InitialCounts {
+		total += d
+	}
+	for j, d := range c.InitialCounts {
+		q[j] = float64(d) / float64(total)
+	}
+	return q
+}
+
+// samplingProbs fills dst with (1−µ)Q_j + µ/m.
+func samplingProbs(dst, q []float64, mu float64) {
+	m := float64(len(q))
+	for j := range dst {
+		dst[j] = (1-mu)*q[j] + mu/m
+	}
+}
+
+// common holds the state shared by both engines.
+type common struct {
+	m         int
+	mu        float64
+	environ   env.Environment
+	r         *rng.RNG
+	t         int
+	q         []float64 // popularity Q^t
+	counts    []int     // committed counts D^t
+	rewards   []float64 // latest R^t
+	probs     []float64 // scratch: sampling probabilities
+	groupRew  float64
+	cumReward float64
+}
+
+func newCommon(c *Config, m int) common {
+	q := initialPopularity(c, m)
+	counts := make([]int, m)
+	if c.InitialCounts != nil {
+		copy(counts, c.InitialCounts)
+	}
+	return common{
+		m:       m,
+		mu:      c.Mu,
+		environ: c.Env,
+		r:       rng.New(c.Seed),
+		q:       q,
+		counts:  counts,
+		rewards: make([]float64, m),
+		probs:   make([]float64, m),
+	}
+}
+
+func (s *common) T() int { return s.t }
+
+func (s *common) Popularity() []float64 {
+	out := make([]float64, len(s.q))
+	copy(out, s.q)
+	return out
+}
+
+func (s *common) Counts() []int {
+	out := make([]int, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+func (s *common) LastRewards() []float64 {
+	out := make([]float64, len(s.rewards))
+	copy(out, s.rewards)
+	return out
+}
+
+func (s *common) GroupReward() float64 { return s.groupRew }
+
+func (s *common) CumulativeGroupReward() float64 { return s.cumReward }
+
+func (s *common) participationOf(n int) float64 {
+	total := 0
+	for _, d := range s.counts {
+		total += d
+	}
+	return float64(total) / float64(n)
+}
+
+// accountGroupReward must be called after the environment step while s.q
+// still holds Q^{t−1}.
+func (s *common) accountGroupReward() {
+	g := 0.0
+	for j, rew := range s.rewards {
+		g += s.q[j] * rew
+	}
+	s.groupRew = g
+	s.cumReward += g
+}
+
+// commitCounts installs new committed counts and refreshes popularity,
+// falling back to the previous popularity if nobody committed.
+func (s *common) commitCounts(newCounts []int) {
+	total := 0
+	for _, d := range newCounts {
+		total += d
+	}
+	copy(s.counts, newCounts)
+	if total > 0 {
+		for j, d := range newCounts {
+			s.q[j] = float64(d) / float64(total)
+		}
+	}
+	s.t++
+}
+
+// AgentEngine simulates every individual explicitly.
+type AgentEngine struct {
+	common
+	n      int
+	rules  []agent.Rule
+	choice []int // scratch: option considered by each agent this step
+	next   []int // scratch: new committed counts
+}
+
+var _ Engine = (*AgentEngine)(nil)
+
+// NewAgentEngine validates the config and builds the per-agent engine.
+func NewAgentEngine(c Config) (*AgentEngine, error) {
+	m, err := c.validate(false)
+	if err != nil {
+		return nil, err
+	}
+	e := &AgentEngine{
+		common: newCommon(&c, m),
+		n:      c.N,
+		rules:  make([]agent.Rule, c.N),
+		choice: make([]int, c.N),
+		next:   make([]int, m),
+	}
+	for i := range e.rules {
+		if c.Rules != nil {
+			e.rules[i] = c.Rules.Rule(i)
+		} else {
+			e.rules[i] = c.Rule
+		}
+	}
+	return e, nil
+}
+
+// N returns the population size.
+func (e *AgentEngine) N() int { return e.n }
+
+// Participation returns the committed fraction at the latest step.
+func (e *AgentEngine) Participation() float64 { return e.participationOf(e.n) }
+
+// Step advances one time step.
+func (e *AgentEngine) Step() error {
+	// Stage 1: each agent picks an option to consider.
+	samplingProbs(e.probs, e.q, e.mu)
+	table, err := dist.NewAlias(e.probs)
+	if err != nil {
+		return fmt.Errorf("population: build sampling table: %w", err)
+	}
+	for i := 0; i < e.n; i++ {
+		e.choice[i] = table.Sample(e.r)
+	}
+
+	// Fresh rewards for the new step.
+	if err := e.environ.Step(e.r, e.rewards); err != nil {
+		return fmt.Errorf("population: environment step: %w", err)
+	}
+	e.accountGroupReward()
+
+	// Stage 2: adoption decisions.
+	for j := range e.next {
+		e.next[j] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		j := e.choice[i]
+		if e.rules[i].Adopt(e.r, e.rewards[j]) {
+			e.next[j]++
+		}
+	}
+	e.commitCounts(e.next)
+	return nil
+}
+
+// AggregateEngine advances per-option counts directly: stage one is a
+// multinomial split of the N sampling decisions, stage two a binomial
+// thinning per option. This is exactly the law of AgentEngine with a
+// shared rule, at O(m) cost per step.
+type AggregateEngine struct {
+	common
+	n     int
+	alpha float64
+	beta  float64
+	next  []int
+}
+
+var _ Engine = (*AggregateEngine)(nil)
+
+// NewAggregateEngine validates the config and builds the count-level
+// engine. It requires a shared adoption rule.
+func NewAggregateEngine(c Config) (*AggregateEngine, error) {
+	m, err := c.validate(true)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rules != nil {
+		return nil, fmt.Errorf("%w: AggregateEngine requires a homogeneous rule", ErrBadConfig)
+	}
+	return &AggregateEngine{
+		common: newCommon(&c, m),
+		n:      c.N,
+		alpha:  c.Rule.Alpha(),
+		beta:   c.Rule.Beta(),
+		next:   make([]int, m),
+	}, nil
+}
+
+// N returns the population size.
+func (e *AggregateEngine) N() int { return e.n }
+
+// Participation returns the committed fraction at the latest step.
+func (e *AggregateEngine) Participation() float64 { return e.participationOf(e.n) }
+
+// Step advances one time step.
+func (e *AggregateEngine) Step() error {
+	samplingProbs(e.probs, e.q, e.mu)
+	sampled, err := dist.Multinomial(e.r, e.n, e.probs)
+	if err != nil {
+		return fmt.Errorf("population: stage-1 multinomial: %w", err)
+	}
+
+	if err := e.environ.Step(e.r, e.rewards); err != nil {
+		return fmt.Errorf("population: environment step: %w", err)
+	}
+	e.accountGroupReward()
+
+	for j, s := range sampled {
+		p := e.alpha
+		if e.rewards[j] >= 1 {
+			p = e.beta
+		}
+		d, err := dist.Binomial(e.r, s, p)
+		if err != nil {
+			return fmt.Errorf("population: stage-2 binomial: %w", err)
+		}
+		e.next[j] = d
+	}
+	e.commitCounts(e.next)
+	return nil
+}
+
+// Run advances an engine T steps and returns the time-averaged group
+// reward (1/T)·Σ_t Σ_j Q^{t−1}_j R^t_j.
+func Run(e Engine, steps int) (avgGroupReward float64, err error) {
+	if e == nil || steps <= 0 {
+		return 0, fmt.Errorf("%w: run engine=%v steps=%d", ErrBadConfig, e, steps)
+	}
+	before := e.CumulativeGroupReward()
+	for i := 0; i < steps; i++ {
+		if err := e.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return (e.CumulativeGroupReward() - before) / float64(steps), nil
+}

@@ -1,0 +1,334 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// ConcurrentSimulator runs the same four-phase protocol as Simulator but
+// with one goroutine per node, coordinated by phase barriers. Nodes own
+// their state exclusively and interact only through per-node locked
+// mailboxes, demonstrating that the protocol needs no shared memory
+// beyond a message channel.
+//
+// Each node draws from its own RNG stream, so results are independent
+// of goroutine scheduling at the level of each node's local decisions;
+// mailbox arrival *order* may vary between runs, which can permute
+// which messages a lossy link drops. Tests therefore assert behaviour
+// in distribution (convergence, counters), not bitwise equality with
+// the sequential simulator.
+//
+// Lifecycle: NewConcurrent spawns the node goroutines; always call
+// Shutdown (typically via defer) to stop and join them.
+type ConcurrentSimulator struct {
+	mu      float64
+	rule    ruleIface
+	loss    float64
+	m       int
+	n       int
+	rewards []float64
+
+	coordRNG *rng.RNG
+
+	// Per-node worlds.
+	nodeRNG   []*rng.RNG
+	options   []int
+	mailboxes []mailbox
+
+	// Round-scoped scratch owned by each node.
+	pending   []int
+	exploring []bool
+	candidate []int
+
+	// phase carries per-node control channels: each node listens only
+	// on its own channel, so every node executes every phase exactly
+	// once per round.
+	phase   []chan phaseSignal
+	done    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	t         int
+	fracs     []float64
+	groupRew  float64
+	cumReward float64
+	environ   envIface
+}
+
+// ruleIface and envIface alias the imported interfaces to keep the
+// struct declaration compact.
+type (
+	ruleIface interface {
+		Adopt(r *rng.RNG, signal float64) bool
+		Alpha() float64
+		Beta() float64
+	}
+	envIface interface {
+		Options() int
+		Qualities() []float64
+		Step(r *rng.RNG, dst []float64) error
+	}
+)
+
+// mailbox is a locked per-node message queue.
+type mailbox struct {
+	mu       sync.Mutex
+	requests []Message
+	replies  []Message
+}
+
+func (b *mailbox) push(msg Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if msg.Kind == KindSampleRequest {
+		b.requests = append(b.requests, msg)
+	} else {
+		b.replies = append(b.replies, msg)
+	}
+}
+
+func (b *mailbox) takeRequests() []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.requests
+	b.requests = nil
+	return out
+}
+
+func (b *mailbox) takeReplies() []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.replies
+	b.replies = nil
+	return out
+}
+
+// phaseSignal tells every node goroutine which phase to execute.
+type phaseSignal struct {
+	phase int // 1=sample requests, 2=serve replies, 3=candidates, 4=adopt
+	ack   *sync.WaitGroup
+}
+
+// NewConcurrent validates the config and spawns the node goroutines.
+// Crash schedules are not supported in the concurrent runner (it
+// focuses on the shared-nothing execution model); use Simulator for
+// fault injection.
+func NewConcurrent(c Config) (*ConcurrentSimulator, error) {
+	if len(c.CrashAt) != 0 {
+		return nil, fmt.Errorf("%w: concurrent runner does not support crash schedules", ErrBadConfig)
+	}
+	// Reuse the sequential validation by constructing a throwaway
+	// Simulator config check.
+	if _, err := New(c); err != nil {
+		return nil, err
+	}
+	m := c.Env.Options()
+	base := rng.New(c.Seed)
+	s := &ConcurrentSimulator{
+		mu:        c.Mu,
+		rule:      c.Rule,
+		loss:      c.Loss,
+		m:         m,
+		n:         c.Nodes,
+		rewards:   make([]float64, m),
+		coordRNG:  base.Stream(0),
+		nodeRNG:   make([]*rng.RNG, c.Nodes),
+		options:   make([]int, c.Nodes),
+		mailboxes: make([]mailbox, c.Nodes),
+		pending:   make([]int, c.Nodes),
+		exploring: make([]bool, c.Nodes),
+		candidate: make([]int, c.Nodes),
+		phase:     make([]chan phaseSignal, c.Nodes),
+		done:      make(chan struct{}),
+		fracs:     make([]float64, m),
+		environ:   c.Env,
+	}
+	s.stats.PerNodeStateWords = 1
+	for i := 0; i < c.Nodes; i++ {
+		s.nodeRNG[i] = base.Stream(uint64(i) + 1)
+		s.options[i] = s.nodeRNG[i].Intn(m)
+		s.phase[i] = make(chan phaseSignal, 1)
+	}
+	s.refreshFracs()
+	for i := 0; i < c.Nodes; i++ {
+		s.wg.Add(1)
+		go s.nodeLoop(i)
+	}
+	return s, nil
+}
+
+func (s *ConcurrentSimulator) refreshFracs() {
+	for j := range s.fracs {
+		s.fracs[j] = 0
+	}
+	inc := 1 / float64(s.n)
+	for _, j := range s.options {
+		s.fracs[j] += inc
+	}
+}
+
+// nodeLoop is one node's goroutine: execute phases until shutdown.
+func (s *ConcurrentSimulator) nodeLoop(id int) {
+	defer s.wg.Done()
+	r := s.nodeRNG[id]
+	for {
+		select {
+		case <-s.done:
+			return
+		case sig := <-s.phase[id]:
+			switch sig.phase {
+			case 1:
+				s.phaseSample(id, r)
+			case 2:
+				s.phaseServe(id, r)
+			case 3:
+				s.phaseCandidate(id, r)
+			case 4:
+				s.phaseAdopt(id, r)
+			}
+			sig.ack.Done()
+		}
+	}
+}
+
+func (s *ConcurrentSimulator) phaseSample(id int, r *rng.RNG) {
+	s.pending[id] = -1
+	s.exploring[id] = false
+	if r.Bernoulli(s.mu) {
+		s.exploring[id] = true
+		s.countStat(func(st *Stats) { st.ExplicitExplores++ })
+		return
+	}
+	peer := r.Intn(s.n - 1)
+	if peer >= id {
+		peer++
+	}
+	s.pending[id] = peer
+	s.deliver(r, Message{Kind: KindSampleRequest, From: id, To: peer})
+}
+
+func (s *ConcurrentSimulator) phaseServe(id int, r *rng.RNG) {
+	for _, msg := range s.mailboxes[id].takeRequests() {
+		s.deliver(r, Message{
+			Kind: KindSampleReply, From: id, To: msg.From, Option: s.options[id],
+		})
+	}
+}
+
+func (s *ConcurrentSimulator) phaseCandidate(id int, r *rng.RNG) {
+	if s.exploring[id] {
+		s.candidate[id] = r.Intn(s.m)
+		return
+	}
+	got := -1
+	for _, msg := range s.mailboxes[id].takeReplies() {
+		if msg.From == s.pending[id] {
+			got = msg.Option
+			break
+		}
+	}
+	if got >= 0 {
+		s.candidate[id] = got
+		s.countStat(func(st *Stats) { st.SocialSamples++ })
+		return
+	}
+	s.candidate[id] = r.Intn(s.m)
+	s.countStat(func(st *Stats) { st.FallbackExplores++ })
+}
+
+func (s *ConcurrentSimulator) phaseAdopt(id int, r *rng.RNG) {
+	j := s.candidate[id]
+	if s.rule.Adopt(r, s.rewards[j]) {
+		s.options[id] = j
+	}
+}
+
+// deliver applies the loss model and routes the message.
+func (s *ConcurrentSimulator) deliver(r *rng.RNG, msg Message) {
+	s.countStat(func(st *Stats) { st.MessagesSent++ })
+	if r.Bernoulli(s.loss) {
+		s.countStat(func(st *Stats) { st.MessagesDropped++ })
+		return
+	}
+	s.mailboxes[msg.To].push(msg)
+}
+
+func (s *ConcurrentSimulator) countStat(apply func(*Stats)) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	apply(&s.stats)
+}
+
+// runPhase signals every node to run one phase and waits for all acks.
+func (s *ConcurrentSimulator) runPhase(phase int) {
+	var ack sync.WaitGroup
+	ack.Add(s.n)
+	sig := phaseSignal{phase: phase, ack: &ack}
+	for i := 0; i < s.n; i++ {
+		s.phase[i] <- sig
+	}
+	ack.Wait()
+}
+
+// Step runs one full round (all four phases).
+func (s *ConcurrentSimulator) Step() error {
+	if s.stopped {
+		return fmt.Errorf("%w: simulator already shut down", ErrBadConfig)
+	}
+	s.runPhase(1)
+	s.runPhase(2)
+	if err := s.environ.Step(s.coordRNG, s.rewards); err != nil {
+		return fmt.Errorf("protocol: concurrent environment step: %w", err)
+	}
+	g := 0.0
+	for j, rew := range s.rewards {
+		g += s.fracs[j] * rew
+	}
+	s.groupRew = g
+	s.cumReward += g
+	s.runPhase(3)
+	s.runPhase(4)
+	s.refreshFracs()
+	s.t++
+	s.countStat(func(st *Stats) { st.RoundsRun++ })
+	return nil
+}
+
+// T returns the number of completed rounds.
+func (s *ConcurrentSimulator) T() int { return s.t }
+
+// Fractions returns the per-option population shares.
+func (s *ConcurrentSimulator) Fractions() []float64 {
+	out := make([]float64, s.m)
+	copy(out, s.fracs)
+	return out
+}
+
+// Stats returns a copy of the protocol counters.
+func (s *ConcurrentSimulator) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// GroupReward returns the latest round's group reward.
+func (s *ConcurrentSimulator) GroupReward() float64 { return s.groupRew }
+
+// CumulativeGroupReward returns the running total.
+func (s *ConcurrentSimulator) CumulativeGroupReward() float64 { return s.cumReward }
+
+// Shutdown stops all node goroutines and waits for them to exit. It is
+// idempotent.
+func (s *ConcurrentSimulator) Shutdown() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	close(s.done)
+	s.wg.Wait()
+}

@@ -1,0 +1,201 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/stats"
+)
+
+func benchDeps(b *testing.B) (agent.Linear, env.Environment) {
+	b.Helper()
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rule, environ
+}
+
+func TestConcurrentRejectsCrashSchedules(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.CrashAt = map[int][]int{1: {0}}
+	if _, err := NewConcurrent(c); !errors.Is(err, ErrBadConfig) {
+		t.Error("crash schedule accepted by concurrent runner")
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.Nodes = 0
+	if _, err := NewConcurrent(c); !errors.Is(err, ErrBadConfig) {
+		t.Error("nodes=0 accepted")
+	}
+}
+
+func TestConcurrentShutdownIdempotent(t *testing.T) {
+	t.Parallel()
+
+	s, err := NewConcurrent(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	s.Shutdown() // must not panic or hang
+	if err := s.Step(); !errors.Is(err, ErrBadConfig) {
+		t.Error("Step after Shutdown succeeded")
+	}
+}
+
+func TestConcurrentConverges(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.Nodes = 100
+	s, err := NewConcurrent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	for i := 0; i < 300; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IsProbabilityVector(s.Fractions(), 1e-9) {
+			t.Fatalf("round %d: fractions %v", i, s.Fractions())
+		}
+	}
+	sum := 0.0
+	const window = 200
+	for i := 0; i < window; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += s.Fractions()[0]
+	}
+	if avg := sum / window; avg < 0.7 {
+		t.Errorf("concurrent runner best-option share %v, want > 0.7", avg)
+	}
+	if s.T() != 500 {
+		t.Errorf("T = %d, want 500", s.T())
+	}
+}
+
+func TestConcurrentCountersConsistent(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.Nodes = 50
+	c.Loss = 0.2
+	s, err := NewConcurrent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	const rounds = 80
+	for i := 0; i < rounds; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.RoundsRun != rounds {
+		t.Errorf("RoundsRun = %d", st.RoundsRun)
+	}
+	// Every node makes exactly one decision per round.
+	if covered := st.SocialSamples + st.ExplicitExplores + st.FallbackExplores; covered != c.Nodes*rounds {
+		t.Errorf("decisions = %d, want %d", covered, c.Nodes*rounds)
+	}
+	if st.MessagesSent > 2*c.Nodes*rounds {
+		t.Errorf("MessagesSent = %d exceeds 2/node/round", st.MessagesSent)
+	}
+	if st.MessagesDropped == 0 {
+		t.Error("no drops despite 20% loss")
+	}
+	if st.PerNodeStateWords != 1 {
+		t.Errorf("PerNodeStateWords = %d", st.PerNodeStateWords)
+	}
+}
+
+// TestConcurrentMatchesSequentialInDistribution compares the long-run
+// best-option share of the concurrent and sequential runners over a few
+// seeds — same protocol, so the concentrations must land in the same
+// regime.
+func TestConcurrentMatchesSequentialInDistribution(t *testing.T) {
+	t.Parallel()
+
+	var seqShare, conShare stats.Summary
+	for rep := 0; rep < 3; rep++ {
+		c := baseConfig(t)
+		c.Nodes = 100
+		c.Seed = uint64(50 + rep)
+
+		seq, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(seq, 300); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			if err := seq.Step(); err != nil {
+				t.Fatal(err)
+			}
+			sum += seq.Fractions()[0]
+		}
+		seqShare.Add(sum / 100)
+
+		con, err := NewConcurrent(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			if err := con.Step(); err != nil {
+				con.Shutdown()
+				t.Fatal(err)
+			}
+		}
+		sum = 0.0
+		for i := 0; i < 100; i++ {
+			if err := con.Step(); err != nil {
+				con.Shutdown()
+				t.Fatal(err)
+			}
+			sum += con.Fractions()[0]
+		}
+		con.Shutdown()
+		conShare.Add(sum / 100)
+	}
+	if diff := seqShare.Mean() - conShare.Mean(); diff > 0.25 || diff < -0.25 {
+		t.Errorf("sequential %v vs concurrent %v shares diverged", seqShare.Mean(), conShare.Mean())
+	}
+}
+
+func BenchmarkConcurrentRound(b *testing.B) {
+	c := Config{Nodes: 200, Mu: 0.02, Loss: 0}
+	rule, environ := benchDeps(b)
+	c.Rule, c.Env, c.Seed = rule, environ, 1
+	s, err := NewConcurrent(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// TestEnvironmentFailurePropagates verifies both runners surface an
+// injected environment failure.
+func TestEnvironmentFailurePropagates(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	faulty, err := env.NewFaulty(c.Env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Env = faulty
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(); err != nil {
+		t.Fatalf("first round failed: %v", err)
+	}
+	if err := s.Step(); !errors.Is(err, env.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+
+	c2 := baseConfig(t)
+	faulty2, err := env.NewFaulty(c2.Env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Env = faulty2
+	con, err := NewConcurrent(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer con.Shutdown()
+	if err := con.Step(); err != nil {
+		t.Fatalf("first concurrent round failed: %v", err)
+	}
+	if err := con.Step(); !errors.Is(err, env.ErrInjected) {
+		t.Fatalf("concurrent: want ErrInjected, got %v", err)
+	}
+}

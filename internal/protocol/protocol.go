@@ -1,0 +1,360 @@
+// Package protocol implements the paper's closing suggestion: a
+// distributed, low-memory, low-communication implementation of the
+// stochastic MWU method — "perhaps appropriate for low-power devices in
+// distributed settings such as sensor networks or the internet-of-
+// things" (Section 1).
+//
+// Every node stores exactly one integer of protocol state — its current
+// option. No node ever holds a weight vector; the popularity of each
+// option across the network *is* the weight vector, represented
+// implicitly. Per round each node exchanges at most one request/reply
+// pair with one uniformly random peer and makes one local observation of
+// a candidate option's quality signal.
+//
+// Nodes are state machines that communicate only through Message values
+// carried by a Router, which injects message loss and node crashes. A
+// node whose social sample fails (lost message, crashed peer) falls back
+// to uniform exploration for the round, preserving the µ-exploration
+// floor that the paper's analysis relies on.
+//
+// The round proceeds in four phases:
+//
+//	A. each alive node either explores locally (probability µ) or sends
+//	   a SampleRequest to a uniformly random peer;
+//	B. alive recipients answer with a SampleReply carrying their current
+//	   option;
+//	C. each node fixes its candidate option (reply, or uniform fallback);
+//	D. the environment draws this round's quality signals; each node
+//	   observes its candidate's signal and adopts with probability β
+//	   (good) or α (bad), otherwise keeps its current option.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/rng"
+)
+
+// ErrBadConfig reports an invalid protocol configuration.
+var ErrBadConfig = errors.New("protocol: invalid config")
+
+// MessageKind labels protocol messages.
+type MessageKind int
+
+// The two message kinds of the protocol.
+const (
+	KindSampleRequest MessageKind = iota + 1
+	KindSampleReply
+)
+
+// Message is one protocol datagram.
+type Message struct {
+	Kind   MessageKind
+	From   int
+	To     int
+	Option int // valid for SampleReply
+}
+
+// node is the per-device state machine. Its entire protocol state is the
+// single field option — the low-memory claim under test.
+type node struct {
+	option int
+}
+
+// Config parameterizes a protocol simulation.
+type Config struct {
+	// Nodes is the network size.
+	Nodes int
+	// Mu is the exploration probability.
+	Mu float64
+	// Rule is the adoption rule shared by all nodes.
+	Rule agent.Rule
+	// Env generates per-round quality signals (one shared realization
+	// per option per round, as in the paper).
+	Env env.Environment
+	// Loss is the independent per-message drop probability.
+	Loss float64
+	// CrashAt maps round number (1-based) to node IDs that crash
+	// permanently at the start of that round.
+	CrashAt map[int][]int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Stats aggregates protocol-level counters.
+type Stats struct {
+	RoundsRun         int
+	MessagesSent      int
+	MessagesDropped   int
+	FallbackExplores  int
+	ExplicitExplores  int
+	SocialSamples     int
+	CrashedNodes      int
+	PerNodeStateWords int // words of protocol state per node (always 1)
+}
+
+// Simulator coordinates nodes, router, and environment.
+type Simulator struct {
+	mu      float64
+	rule    agent.Rule
+	environ env.Environment
+	loss    float64
+	crashAt map[int][]int
+	r       *rng.RNG
+
+	m       int
+	nodes   []node
+	alive   []bool
+	rewards []float64
+	fracs   []float64
+	// Separate per-phase inboxes: requests delivered in phase A are
+	// consumed in phase B, replies delivered in phase B are consumed in
+	// phase C. Keeping them apart guarantees no phase can clobber the
+	// other's in-flight messages.
+	reqInbox   [][]Message
+	replyInbox [][]Message
+
+	t         int
+	stats     Stats
+	groupRew  float64
+	cumReward float64
+}
+
+// New validates the config and builds a simulator with every node on a
+// uniformly random option.
+func New(c Config) (*Simulator, error) {
+	if c.Nodes <= 0 {
+		return nil, fmt.Errorf("%w: nodes=%d", ErrBadConfig, c.Nodes)
+	}
+	if math.IsNaN(c.Mu) || c.Mu < 0 || c.Mu > 1 {
+		return nil, fmt.Errorf("%w: mu=%v", ErrBadConfig, c.Mu)
+	}
+	if c.Rule == nil {
+		return nil, fmt.Errorf("%w: nil rule", ErrBadConfig)
+	}
+	if c.Env == nil {
+		return nil, fmt.Errorf("%w: nil environment", ErrBadConfig)
+	}
+	if math.IsNaN(c.Loss) || c.Loss < 0 || c.Loss > 1 {
+		return nil, fmt.Errorf("%w: loss=%v", ErrBadConfig, c.Loss)
+	}
+	m := c.Env.Options()
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: %d options", ErrBadConfig, m)
+	}
+	for round, ids := range c.CrashAt {
+		if round <= 0 {
+			return nil, fmt.Errorf("%w: crash round %d", ErrBadConfig, round)
+		}
+		for _, id := range ids {
+			if id < 0 || id >= c.Nodes {
+				return nil, fmt.Errorf("%w: crash node %d", ErrBadConfig, id)
+			}
+		}
+	}
+	s := &Simulator{
+		mu:         c.Mu,
+		rule:       c.Rule,
+		environ:    c.Env,
+		loss:       c.Loss,
+		crashAt:    c.CrashAt,
+		r:          rng.New(c.Seed),
+		m:          m,
+		nodes:      make([]node, c.Nodes),
+		alive:      make([]bool, c.Nodes),
+		rewards:    make([]float64, m),
+		fracs:      make([]float64, m),
+		reqInbox:   make([][]Message, c.Nodes),
+		replyInbox: make([][]Message, c.Nodes),
+	}
+	for i := range s.nodes {
+		s.nodes[i].option = s.r.Intn(m)
+		s.alive[i] = true
+	}
+	s.stats.PerNodeStateWords = 1
+	s.refreshFracs()
+	return s, nil
+}
+
+func (s *Simulator) refreshFracs() {
+	for j := range s.fracs {
+		s.fracs[j] = 0
+	}
+	aliveCount := 0
+	for i, ok := range s.alive {
+		if ok {
+			aliveCount++
+			s.fracs[s.nodes[i].option]++
+		}
+	}
+	if aliveCount == 0 {
+		return
+	}
+	for j := range s.fracs {
+		s.fracs[j] /= float64(aliveCount)
+	}
+}
+
+// T returns the number of completed rounds.
+func (s *Simulator) T() int { return s.t }
+
+// Fractions returns the per-option shares among alive nodes.
+func (s *Simulator) Fractions() []float64 {
+	out := make([]float64, s.m)
+	copy(out, s.fracs)
+	return out
+}
+
+// Stats returns a copy of the protocol counters.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// GroupReward returns the latest round's Σ_j frac^{t−1}_j · R^t_j.
+func (s *Simulator) GroupReward() float64 { return s.groupRew }
+
+// CumulativeGroupReward returns the running total.
+func (s *Simulator) CumulativeGroupReward() float64 { return s.cumReward }
+
+// AliveCount returns the number of non-crashed nodes.
+func (s *Simulator) AliveCount() int {
+	count := 0
+	for _, ok := range s.alive {
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// send routes one message, applying the loss model.
+func (s *Simulator) send(msg Message) bool {
+	s.stats.MessagesSent++
+	if s.r.Bernoulli(s.loss) || !s.alive[msg.To] {
+		s.stats.MessagesDropped++
+		return false
+	}
+	switch msg.Kind {
+	case KindSampleRequest:
+		s.reqInbox[msg.To] = append(s.reqInbox[msg.To], msg)
+	case KindSampleReply:
+		s.replyInbox[msg.To] = append(s.replyInbox[msg.To], msg)
+	}
+	return true
+}
+
+// Step runs one protocol round.
+func (s *Simulator) Step() error {
+	round := s.t + 1
+	for _, id := range s.crashAt[round] {
+		if s.alive[id] {
+			s.alive[id] = false
+			s.stats.CrashedNodes++
+		}
+	}
+	n := len(s.nodes)
+
+	// Phase A: requests.
+	pendingPeer := make([]int, n) // -1: exploring, else peer asked
+	for i := range pendingPeer {
+		pendingPeer[i] = -1
+	}
+	explore := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !s.alive[i] {
+			continue
+		}
+		if s.r.Bernoulli(s.mu) {
+			explore[i] = true
+			s.stats.ExplicitExplores++
+			continue
+		}
+		peer := s.r.Intn(n - 1)
+		if peer >= i {
+			peer++
+		}
+		pendingPeer[i] = peer
+		s.send(Message{Kind: KindSampleRequest, From: i, To: peer})
+	}
+
+	// Phase B: replies.
+	for i := 0; i < n; i++ {
+		msgs := s.reqInbox[i]
+		s.reqInbox[i] = s.reqInbox[i][:0]
+		if !s.alive[i] {
+			continue
+		}
+		for _, msg := range msgs {
+			s.send(Message{Kind: KindSampleReply, From: i, To: msg.From, Option: s.nodes[i].option})
+		}
+	}
+
+	// Phase C: candidates.
+	candidate := make([]int, n)
+	for i := 0; i < n; i++ {
+		candidate[i] = -1
+		if !s.alive[i] {
+			continue
+		}
+		if explore[i] {
+			candidate[i] = s.r.Intn(s.m)
+			continue
+		}
+		got := -1
+		for _, msg := range s.replyInbox[i] {
+			if msg.From == pendingPeer[i] {
+				got = msg.Option
+				break
+			}
+		}
+		s.replyInbox[i] = s.replyInbox[i][:0]
+		if got >= 0 {
+			candidate[i] = got
+			s.stats.SocialSamples++
+		} else {
+			candidate[i] = s.r.Intn(s.m)
+			s.stats.FallbackExplores++
+		}
+	}
+
+	// Phase D: observation and adoption.
+	if err := s.environ.Step(s.r, s.rewards); err != nil {
+		return fmt.Errorf("protocol: environment step: %w", err)
+	}
+	g := 0.0
+	for j, rew := range s.rewards {
+		g += s.fracs[j] * rew
+	}
+	s.groupRew = g
+	s.cumReward += g
+
+	for i := 0; i < n; i++ {
+		if !s.alive[i] || candidate[i] < 0 {
+			continue
+		}
+		if s.rule.Adopt(s.r, s.rewards[candidate[i]]) {
+			s.nodes[i].option = candidate[i]
+		}
+	}
+	s.refreshFracs()
+	s.t++
+	s.stats.RoundsRun++
+	return nil
+}
+
+// Run advances the protocol rounds steps and returns the time-averaged
+// group reward.
+func Run(s *Simulator, steps int) (float64, error) {
+	if s == nil || steps <= 0 {
+		return 0, fmt.Errorf("%w: run steps=%d", ErrBadConfig, steps)
+	}
+	before := s.cumReward
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return (s.cumReward - before) / float64(steps), nil
+}

@@ -1,0 +1,374 @@
+package protocol
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/stats"
+)
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Nodes: 200,
+		Mu:    0.02,
+		Rule:  rule,
+		Env:   environ,
+		Seed:  1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero nodes", mutate: func(c *Config) { c.Nodes = 0 }},
+		{name: "bad mu", mutate: func(c *Config) { c.Mu = 2 }},
+		{name: "nil rule", mutate: func(c *Config) { c.Rule = nil }},
+		{name: "nil env", mutate: func(c *Config) { c.Env = nil }},
+		{name: "bad loss", mutate: func(c *Config) { c.Loss = -0.5 }},
+		{name: "bad crash round", mutate: func(c *Config) { c.CrashAt = map[int][]int{0: {1}} }},
+		{name: "bad crash node", mutate: func(c *Config) { c.CrashAt = map[int][]int{1: {999}} }},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			c := baseConfig(t)
+			tt.mutate(&c)
+			if _, err := New(c); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("want ErrBadConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestPerNodeStateIsOneWord(t *testing.T) {
+	t.Parallel()
+
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PerNodeStateWords; got != 1 {
+		t.Errorf("per-node state = %d words, want 1 (the low-memory claim)", got)
+	}
+}
+
+func TestConvergesToBestOption(t *testing.T) {
+	t.Parallel()
+
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0.0
+	const window = 200
+	for i := 0; i < window; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += s.Fractions()[0]
+	}
+	if avg := sum / window; avg < 0.7 {
+		t.Errorf("average best-option share %v, want > 0.7", avg)
+	}
+}
+
+func TestConvergesUnderMessageLoss(t *testing.T) {
+	t.Parallel()
+
+	for _, loss := range []float64{0.01, 0.1} {
+		loss := loss
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			c := baseConfig(t)
+			c.Loss = loss
+			c.Seed = 3
+			s, err := New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sum := 0.0
+			const window = 200
+			for i := 0; i < window; i++ {
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+				sum += s.Fractions()[0]
+			}
+			// Loss raises the effective exploration rate (failed samples
+			// fall back to uniform), so the concentration target is
+			// looser than the loss-free case.
+			if avg := sum / window; avg < 0.6 {
+				t.Errorf("loss=%v: best-option share %v, want > 0.6", loss, avg)
+			}
+			if s.Stats().MessagesDropped == 0 {
+				t.Error("no messages dropped despite positive loss")
+			}
+			if s.Stats().FallbackExplores == 0 {
+				t.Error("no fallback explores despite message loss")
+			}
+		})
+	}
+}
+
+func TestCrashesAreApplied(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.CrashAt = map[int][]int{
+		5:  {0, 1, 2},
+		10: {3},
+		15: {3}, // double-crash must not double-count
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().CrashedNodes; got != 4 {
+		t.Errorf("CrashedNodes = %d, want 4", got)
+	}
+	if got := s.AliveCount(); got != c.Nodes-4 {
+		t.Errorf("AliveCount = %d, want %d", got, c.Nodes-4)
+	}
+}
+
+func TestConvergesDespiteCrashes(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	// A quarter of the network crashes early.
+	crash := make([]int, 0, 50)
+	for i := 0; i < 50; i++ {
+		crash = append(crash, i)
+	}
+	c.CrashAt = map[int][]int{10: crash}
+	c.Seed = 9
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0.0
+	const window = 200
+	for i := 0; i < window; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += s.Fractions()[0]
+	}
+	if avg := sum / window; avg < 0.65 {
+		t.Errorf("best-option share after crashes %v, want > 0.65", avg)
+	}
+}
+
+func TestMessageBudget(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.Loss = 0
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// At most 2 messages (request+reply) per node per round.
+	if limit := 2 * c.Nodes * rounds; st.MessagesSent > limit {
+		t.Errorf("MessagesSent = %d exceeds budget %d", st.MessagesSent, limit)
+	}
+	// Social samples plus explores must cover every alive node-round.
+	covered := st.SocialSamples + st.ExplicitExplores + st.FallbackExplores
+	if want := c.Nodes * rounds; covered != want {
+		t.Errorf("decisions = %d, want %d", covered, want)
+	}
+}
+
+func TestFractionsAreProbabilityVector(t *testing.T) {
+	t.Parallel()
+
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IsProbabilityVector(s.Fractions(), 1e-9) {
+			t.Fatalf("round %d: fractions %v", i, s.Fractions())
+		}
+	}
+}
+
+// TestMatchesCentralizedDynamics compares the protocol's long-run
+// behaviour with the centralized netpop-style simulation: both should
+// concentrate on the best option to a similar degree.
+func TestMatchesCentralizedDynamics(t *testing.T) {
+	t.Parallel()
+
+	var protoShare stats.Summary
+	for rep := 0; rep < 5; rep++ {
+		c := baseConfig(t)
+		c.Seed = uint64(100 + rep)
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(s, 300); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			sum += s.Fractions()[0]
+		}
+		protoShare.Add(sum / 100)
+	}
+	// The well-mixed dynamics with these parameters concentrates ~0.85+
+	// on the best option; the protocol should land in the same regime.
+	if protoShare.Mean() < 0.7 {
+		t.Errorf("protocol best-option share %v, centralized regime is >0.8", protoShare.Mean())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Run(nil, 10); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil simulator accepted")
+	}
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero steps accepted")
+	}
+	avg, err := Run(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < 0 || avg > 1 {
+		t.Errorf("avg reward %v", avg)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	t.Parallel()
+
+	a, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := a.Fractions(), b.Fractions()
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("same-seed protocols diverged at round %d", i)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Error("stats diverged")
+	}
+}
+
+func TestTotalLossDegradesToExploration(t *testing.T) {
+	t.Parallel()
+
+	c := baseConfig(t)
+	c.Loss = 1
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.SocialSamples != 0 {
+		t.Errorf("social samples %d under total loss", st.SocialSamples)
+	}
+	if st.FallbackExplores == 0 {
+		t.Error("no fallbacks under total loss")
+	}
+	// With pure exploration the population hovers near uniform.
+	if f := s.Fractions(); math.Abs(f[0]-f[1]) > 0.5 {
+		t.Errorf("fractions %v unexpectedly concentrated under total loss", f)
+	}
+}
+
+func BenchmarkProtocolRound(b *testing.B) {
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Nodes: 1000, Mu: 0.05, Rule: rule, Env: environ, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package regret provides the regret accounting and the closed-form
+// bounds proved in the paper.
+//
+// The paper measures group performance as the average expected regret
+//
+//	Regret(T) = η_1 − (1/T)·Σ_{t=1..T} Σ_j E[Q^{t−1}_j · R^t_j],
+//
+// against the best option in hindsight. Theorem 4.3 bounds the infinite
+// population's regret by 3δ (for T ≥ ln m/δ², 6µ ≤ δ²); Theorem 4.4
+// bounds the finite population's by 6δ under a population-size
+// condition; and the proof of Theorem 4.3 yields the finer anytime bound
+// ln m/(δT) + 2δ. This package exposes those formulas alongside a
+// Tracker that estimates the expectation by averaging realized group
+// rewards across independent replications.
+package regret
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+var (
+	// ErrBadParam reports out-of-domain bound parameters.
+	ErrBadParam = errors.New("regret: invalid parameter")
+)
+
+// Delta returns the paper's rate parameter δ = ln(β/(1−β)). It requires
+// 1/2 < β < 1 for a finite positive value.
+func Delta(beta float64) (float64, error) {
+	if math.IsNaN(beta) || beta <= 0.5 || beta >= 1 {
+		return 0, fmt.Errorf("%w: delta needs 1/2 < beta < 1, got %v", ErrBadParam, beta)
+	}
+	return math.Log(beta / (1 - beta)), nil
+}
+
+// BetaUpper is e/(e+1), the largest β for which the paper's analysis
+// applies (it makes δ ≤ 1).
+const BetaUpper = math.E / (math.E + 1)
+
+// MaxMu returns the largest exploration rate compatible with the
+// theorems' hypothesis 6µ ≤ δ².
+func MaxMu(delta float64) (float64, error) {
+	if math.IsNaN(delta) || delta <= 0 {
+		return 0, fmt.Errorf("%w: delta=%v", ErrBadParam, delta)
+	}
+	mu := delta * delta / 6
+	if mu > 1 {
+		mu = 1
+	}
+	return mu, nil
+}
+
+// MinHorizon returns the smallest horizon ⌈ln m / δ²⌉ for which the
+// Theorem 4.3 regret bound takes effect.
+func MinHorizon(m int, delta float64) (int, error) {
+	if m <= 0 || math.IsNaN(delta) || delta <= 0 {
+		return 0, fmt.Errorf("%w: horizon m=%d delta=%v", ErrBadParam, m, delta)
+	}
+	if m == 1 {
+		return 1, nil
+	}
+	return int(math.Ceil(math.Log(float64(m)) / (delta * delta))), nil
+}
+
+// InfiniteBound returns Theorem 4.3's bound 3δ.
+func InfiniteBound(delta float64) (float64, error) {
+	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
+		return 0, fmt.Errorf("%w: infinite bound delta=%v", ErrBadParam, delta)
+	}
+	return 3 * delta, nil
+}
+
+// FiniteBound returns Theorem 4.4's bound 6δ.
+func FiniteBound(delta float64) (float64, error) {
+	if math.IsNaN(delta) || delta <= 0 || delta > 1 {
+		return 0, fmt.Errorf("%w: finite bound delta=%v", ErrBadParam, delta)
+	}
+	return 6 * delta, nil
+}
+
+// AnytimeBound returns the proof's anytime bound ln m/(δT) + 2δ, valid
+// for every T ≥ 1 under 6µ ≤ δ².
+func AnytimeBound(m, t int, delta float64) (float64, error) {
+	if m <= 0 || t <= 0 || math.IsNaN(delta) || delta <= 0 || delta > 1 {
+		return 0, fmt.Errorf("%w: anytime bound m=%d T=%d delta=%v", ErrBadParam, m, t, delta)
+	}
+	return math.Log(float64(m))/(delta*float64(t)) + 2*delta, nil
+}
+
+// BestOptionMassBound returns Theorem 4.3's second claim: the
+// time-averaged mass on the best option is at least 1 − 3δ/(η1−η2).
+// The bound can be vacuous (negative) when the quality gap is small.
+func BestOptionMassBound(delta, eta1, eta2 float64) (float64, error) {
+	if math.IsNaN(delta) || delta <= 0 || eta1 <= eta2 {
+		return 0, fmt.Errorf("%w: mass bound delta=%v eta1=%v eta2=%v", ErrBadParam, delta, eta1, eta2)
+	}
+	return 1 - 3*delta/(eta1-eta2), nil
+}
+
+// CouplingDeltaDoublePrime returns δ′′ = sqrt(60·m·ln N / ((1−β)·µ·N)),
+// the per-step closeness scale of Lemma 4.5.
+func CouplingDeltaDoublePrime(m, n int, beta, mu float64) (float64, error) {
+	if m <= 0 || n < 2 || math.IsNaN(beta) || beta >= 1 || beta < 0 || mu <= 0 || mu > 1 {
+		return 0, fmt.Errorf("%w: coupling m=%d N=%d beta=%v mu=%v", ErrBadParam, m, n, beta, mu)
+	}
+	return math.Sqrt(60 * float64(m) * math.Log(float64(n)) / ((1 - beta) * mu * float64(n))), nil
+}
+
+// CouplingBound returns the Lemma 4.5 trajectory-closeness bound
+// 5^t·δ′′ at step t.
+func CouplingBound(t int, deltaDoublePrime float64) (float64, error) {
+	if t < 0 || math.IsNaN(deltaDoublePrime) || deltaDoublePrime < 0 {
+		return 0, fmt.Errorf("%w: coupling bound t=%d d''=%v", ErrBadParam, t, deltaDoublePrime)
+	}
+	return math.Pow(5, float64(t)) * deltaDoublePrime, nil
+}
+
+// EpochLength returns the Section 4.3.2 epoch length
+// ⌈ln(4m/(µ(1−β)))/δ²⌉ used for the large-T argument, derived from the
+// popularity floor ζ = µ(1−β)/(4m).
+func EpochLength(m int, mu, beta, delta float64) (int, error) {
+	if m <= 0 || mu <= 0 || mu > 1 || beta >= 1 || beta < 0 || delta <= 0 {
+		return 0, fmt.Errorf("%w: epoch m=%d mu=%v beta=%v delta=%v", ErrBadParam, m, mu, beta, delta)
+	}
+	zeta := mu * (1 - beta) / (4 * float64(m))
+	return int(math.Ceil(math.Log(1/zeta) / (delta * delta))), nil
+}
+
+// PopularityFloor returns ζ = µ(1−β)/(4m), the high-probability lower
+// bound on every option's popularity (Section 4.3.2).
+func PopularityFloor(m int, mu, beta float64) (float64, error) {
+	if m <= 0 || mu <= 0 || mu > 1 || beta >= 1 || beta < 0 {
+		return 0, fmt.Errorf("%w: floor m=%d mu=%v beta=%v", ErrBadParam, m, mu, beta)
+	}
+	return mu * (1 - beta) / (4 * float64(m)), nil
+}
+
+// HedgeOptimalBound returns the classic tuned-MWU regret bound
+// 2·sqrt(ln m / T) that the conclusion contrasts with the socially
+// constrained β (Arora–Hazan–Kale Theorem 2.1 form).
+func HedgeOptimalBound(m, t int) (float64, error) {
+	if m <= 0 || t <= 0 {
+		return 0, fmt.Errorf("%w: hedge bound m=%d T=%d", ErrBadParam, m, t)
+	}
+	if m == 1 {
+		return 0, nil
+	}
+	return 2 * math.Sqrt(math.Log(float64(m))/float64(t)), nil
+}
+
+// Tracker estimates Regret(T) = η_1 − (1/T)·Σ E[group reward] by
+// averaging realized time-averaged group rewards over independent
+// replications.
+type Tracker struct {
+	eta1    float64
+	rewards stats.Summary
+}
+
+// NewTracker creates a tracker for a best-option quality η_1.
+func NewTracker(eta1 float64) (*Tracker, error) {
+	if math.IsNaN(eta1) || eta1 < 0 || eta1 > 1 {
+		return nil, fmt.Errorf("%w: eta1=%v", ErrBadParam, eta1)
+	}
+	return &Tracker{eta1: eta1}, nil
+}
+
+// AddRun records one replication's time-averaged group reward.
+func (tr *Tracker) AddRun(avgGroupReward float64) {
+	tr.rewards.Add(avgGroupReward)
+}
+
+// Replications returns the number of recorded runs.
+func (tr *Tracker) Replications() int { return tr.rewards.Count() }
+
+// Regret returns the point estimate of the expected average regret.
+func (tr *Tracker) Regret() (float64, error) {
+	if tr.rewards.Count() == 0 {
+		return 0, stats.ErrNoData
+	}
+	return tr.eta1 - tr.rewards.Mean(), nil
+}
+
+// RegretCI95 returns a 95% confidence interval for the expected regret.
+func (tr *Tracker) RegretCI95() (low, high float64, err error) {
+	lowR, highR, err := tr.rewards.CI95()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Regret is eta1 minus reward, so the interval flips.
+	return tr.eta1 - highR, tr.eta1 - lowR, nil
+}

@@ -1,0 +1,293 @@
+package regret
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestDelta(t *testing.T) {
+	t.Parallel()
+
+	for _, beta := range []float64{0.3, 0.5, 1, 1.5, math.NaN()} {
+		if _, err := Delta(beta); !errors.Is(err, ErrBadParam) {
+			t.Errorf("Delta(%v): want ErrBadParam", beta)
+		}
+	}
+	got, err := Delta(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(0.7 / 0.3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delta(0.7) = %v, want %v", got, want)
+	}
+}
+
+// TestBetaUpperGivesDeltaOne: δ(e/(e+1)) = ln(e) = 1, the edge of the
+// theorems' validity range.
+func TestBetaUpperGivesDeltaOne(t *testing.T) {
+	t.Parallel()
+
+	d, err := Delta(BetaUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("delta(e/(e+1)) = %v, want 1", d)
+	}
+}
+
+func TestMaxMu(t *testing.T) {
+	t.Parallel()
+
+	if _, err := MaxMu(0); !errors.Is(err, ErrBadParam) {
+		t.Error("delta=0 accepted")
+	}
+	got, err := MaxMu(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.06; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxMu(0.6) = %v, want %v", got, want)
+	}
+	big, err := MaxMu(10)
+	if err != nil || big != 1 {
+		t.Errorf("MaxMu(10) = %v, want clamped to 1", big)
+	}
+}
+
+func TestMinHorizon(t *testing.T) {
+	t.Parallel()
+
+	if _, err := MinHorizon(0, 0.5); !errors.Is(err, ErrBadParam) {
+		t.Error("m=0 accepted")
+	}
+	got, err := MinHorizon(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(math.Ceil(math.Log(10) / 0.25)); got != want {
+		t.Errorf("MinHorizon = %d, want %d", got, want)
+	}
+	one, err := MinHorizon(1, 0.5)
+	if err != nil || one != 1 {
+		t.Errorf("MinHorizon(m=1) = %d, want 1", one)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	t.Parallel()
+
+	inf, err := InfiniteBound(0.5)
+	if err != nil || inf != 1.5 {
+		t.Errorf("InfiniteBound = %v, %v", inf, err)
+	}
+	fin, err := FiniteBound(0.5)
+	if err != nil || fin != 3 {
+		t.Errorf("FiniteBound = %v, %v", fin, err)
+	}
+	if _, err := InfiniteBound(1.5); !errors.Is(err, ErrBadParam) {
+		t.Error("delta > 1 accepted by InfiniteBound")
+	}
+	if _, err := FiniteBound(0); !errors.Is(err, ErrBadParam) {
+		t.Error("delta = 0 accepted by FiniteBound")
+	}
+}
+
+func TestAnytimeBound(t *testing.T) {
+	t.Parallel()
+
+	got, err := AnytimeBound(10, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(10)/(0.5*100) + 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AnytimeBound = %v, want %v", got, want)
+	}
+	if _, err := AnytimeBound(10, 0, 0.5); !errors.Is(err, ErrBadParam) {
+		t.Error("T=0 accepted")
+	}
+	// Anytime bound at T = MinHorizon must be at most 3*delta.
+	for _, delta := range []float64{0.2, 0.5, 1} {
+		m := 50
+		horizon, err := MinHorizon(m, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anytime, err := AnytimeBound(m, horizon, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := InfiniteBound(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anytime > bound+1e-9 {
+			t.Errorf("delta=%v: anytime %v exceeds 3delta=%v at the minimum horizon", delta, anytime, bound)
+		}
+	}
+}
+
+func TestBestOptionMassBound(t *testing.T) {
+	t.Parallel()
+
+	got, err := BestOptionMassBound(0.1, 0.9, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - 0.3/0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mass bound = %v, want %v", got, want)
+	}
+	if _, err := BestOptionMassBound(0.1, 0.3, 0.9); !errors.Is(err, ErrBadParam) {
+		t.Error("eta1 < eta2 accepted")
+	}
+}
+
+func TestCouplingFormulas(t *testing.T) {
+	t.Parallel()
+
+	dpp, err := CouplingDeltaDoublePrime(2, 1000000, 0.7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(60 * 2 * math.Log(1e6) / (0.3 * 0.05 * 1e6))
+	if math.Abs(dpp-want) > 1e-12 {
+		t.Errorf("delta'' = %v, want %v", dpp, want)
+	}
+	if _, err := CouplingDeltaDoublePrime(2, 1, 0.7, 0.05); !errors.Is(err, ErrBadParam) {
+		t.Error("N=1 accepted")
+	}
+
+	b0, err := CouplingBound(0, dpp)
+	if err != nil || b0 != dpp {
+		t.Errorf("CouplingBound(0) = %v, want %v", b0, dpp)
+	}
+	b3, err := CouplingBound(3, dpp)
+	if err != nil || math.Abs(b3-125*dpp) > 1e-9 {
+		t.Errorf("CouplingBound(3) = %v, want %v", b3, 125*dpp)
+	}
+	if _, err := CouplingBound(-1, dpp); !errors.Is(err, ErrBadParam) {
+		t.Error("negative t accepted")
+	}
+}
+
+func TestEpochAndFloor(t *testing.T) {
+	t.Parallel()
+
+	floor, err := PopularityFloor(10, 0.05, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.05 * 0.3 / 40; math.Abs(floor-want) > 1e-15 {
+		t.Errorf("floor = %v, want %v", floor, want)
+	}
+	epoch, err := EpochLength(10, 0.05, 0.7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(math.Ceil(math.Log(1/floor) / 0.25)); epoch != want {
+		t.Errorf("epoch = %d, want %d", epoch, want)
+	}
+	if _, err := EpochLength(0, 0.05, 0.7, 0.5); !errors.Is(err, ErrBadParam) {
+		t.Error("m=0 accepted")
+	}
+	if _, err := PopularityFloor(10, 0, 0.7); !errors.Is(err, ErrBadParam) {
+		t.Error("mu=0 accepted")
+	}
+}
+
+func TestHedgeOptimalBound(t *testing.T) {
+	t.Parallel()
+
+	got, err := HedgeOptimalBound(10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * math.Sqrt(math.Log(10)/1000); math.Abs(got-want) > 1e-12 {
+		t.Errorf("hedge bound = %v, want %v", got, want)
+	}
+	one, err := HedgeOptimalBound(1, 10)
+	if err != nil || one != 0 {
+		t.Errorf("m=1 bound = %v, want 0", one)
+	}
+	if _, err := HedgeOptimalBound(10, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("T=0 accepted")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewTracker(1.5); !errors.Is(err, ErrBadParam) {
+		t.Error("eta1 > 1 accepted")
+	}
+	tr, err := NewTracker(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Regret(); !errors.Is(err, stats.ErrNoData) {
+		t.Error("empty tracker returned regret")
+	}
+	tr.AddRun(0.8)
+	tr.AddRun(0.7)
+	got, err := tr.Regret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("regret = %v, want 0.15", got)
+	}
+	if tr.Replications() != 2 {
+		t.Errorf("Replications = %d", tr.Replications())
+	}
+	low, high, err := tr.RegretCI95()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > got || high < got {
+		t.Errorf("CI [%v,%v] does not contain %v", low, high, got)
+	}
+}
+
+func TestQuickDeltaMonotone(t *testing.T) {
+	t.Parallel()
+
+	f := func(aRaw, bRaw uint16) bool {
+		a := 0.5 + 0.49*float64(aRaw)/math.MaxUint16 + 1e-6
+		b := 0.5 + 0.49*float64(bRaw)/math.MaxUint16 + 1e-6
+		da, errA := Delta(a)
+		db, errB := Delta(b)
+		if errA != nil || errB != nil {
+			return false
+		}
+		if a < b {
+			return da < db
+		}
+		if a > b {
+			return da > db
+		}
+		return da == db
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAnytimeBoundDecreasingInT(t *testing.T) {
+	t.Parallel()
+
+	f := func(tRaw uint16) bool {
+		t1 := int(tRaw%1000) + 1
+		t2 := t1 + 1
+		b1, err1 := AnytimeBound(10, t1, 0.5)
+		b2, err2 := AnytimeBound(10, t2, 0.5)
+		return err1 == nil && err2 == nil && b2 <= b1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the mean of xs at the given confidence level (e.g. 0.95), using
+// resamples bootstrap replicates. It complements Summary.CI95 when the
+// sampling distribution is skewed (e.g. hitting times), where the
+// normal approximation is unreliable.
+func BootstrapCI(xs []float64, confidence float64, resamples int, r *rng.RNG) (low, high float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("%w: confidence=%v", ErrBadInput, confidence)
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("%w: resamples=%d (need >= 10)", ErrBadInput, resamples)
+	}
+	if r == nil {
+		return 0, 0, fmt.Errorf("%w: nil rng", ErrBadInput)
+	}
+	n := len(xs)
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += xs[r.Intn(n)]
+		}
+		means[b] = sum / float64(n)
+	}
+	alpha := (1 - confidence) / 2
+	low, err = Quantile(means, alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	high, err = Quantile(means, 1-alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	return low, high, nil
+}

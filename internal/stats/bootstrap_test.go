@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBootstrapCIValidation(t *testing.T) {
+	t.Parallel()
+
+	r := rng.New(1)
+	if _, _, err := BootstrapCI(nil, 0.95, 100, r); !errors.Is(err, ErrNoData) {
+		t.Error("empty data accepted")
+	}
+	xs := []float64{1, 2, 3}
+	if _, _, err := BootstrapCI(xs, 1.5, 100, r); !errors.Is(err, ErrBadInput) {
+		t.Error("confidence > 1 accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 5, r); !errors.Is(err, ErrBadInput) {
+		t.Error("too few resamples accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 100, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestBootstrapCIBracketsMean(t *testing.T) {
+	t.Parallel()
+
+	r := rng.New(7)
+	xs := make([]float64, 200)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = r.Float64() * 10
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	low, high, err := BootstrapCI(xs, 0.95, 2000, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > mean || high < mean {
+		t.Errorf("CI [%v, %v] does not bracket sample mean %v", low, high, mean)
+	}
+	if high <= low {
+		t.Errorf("degenerate CI [%v, %v]", low, high)
+	}
+}
+
+// TestBootstrapCICoverage: across many synthetic datasets, the 90% CI
+// should contain the true mean roughly 90% of the time.
+func TestBootstrapCICoverage(t *testing.T) {
+	t.Parallel()
+
+	const trials = 200
+	const trueMean = 0.5
+	r := rng.New(99)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			if r.Bernoulli(trueMean) {
+				xs[i] = 1
+			}
+		}
+		low, high, err := BootstrapCI(xs, 0.9, 400, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if low <= trueMean && trueMean <= high {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.8 || frac > 0.99 {
+		t.Errorf("coverage %v, want ~0.9", frac)
+	}
+}
+
+func TestBootstrapCIConstantData(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{4, 4, 4, 4}
+	low, high, err := BootstrapCI(xs, 0.95, 100, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 4 || high != 4 {
+		t.Errorf("constant data CI [%v, %v], want [4, 4]", low, high)
+	}
+}

@@ -1,0 +1,350 @@
+// Package stats provides the statistics substrate for the reproduction:
+// streaming summaries, quantiles, histograms, confidence intervals, the
+// Chernoff–Hoeffding bounds the paper's Theorem 4.1 relies on, simple
+// linear regression (used to check growth rates of the coupling error),
+// and divergences between probability vectors.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var (
+	// ErrNoData is returned when a statistic needs at least one sample.
+	ErrNoData = errors.New("stats: no data")
+	// ErrBadInput reports malformed arguments (mismatched lengths,
+	// out-of-domain parameters).
+	ErrBadInput = errors.New("stats: bad input")
+)
+
+// Summary accumulates a stream of observations using Welford's online
+// algorithm, tracking count, mean, variance, min and max in O(1) space.
+// The zero value is an empty summary ready for use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds other into the receiver (parallel reduction).
+func (s *Summary) Merge(other Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	n := float64(s.n + other.n)
+	delta := other.mean - s.mean
+	s.m2 += other.m2 + delta*delta*float64(s.n)*float64(other.n)/n
+	s.mean += delta * float64(other.n) / n
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the
+// mean. It returns ErrNoData on an empty summary.
+func (s *Summary) CI95() (low, high float64, err error) {
+	if s.n == 0 {
+		return 0, 0, ErrNoData
+	}
+	const z = 1.959964
+	half := z * s.StdErr()
+	return s.mean - half, s.mean + half, nil
+}
+
+// Mean returns the arithmetic mean of xs, or ErrNoData when empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: quantile q=%v", ErrBadInput, q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram counts observations into equal-width bins over [Low, High).
+// Out-of-range observations accumulate in Under/Over.
+type Histogram struct {
+	Low, High float64
+	Counts    []int
+	Under     int
+	Over      int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(low, high float64, bins int) (*Histogram, error) {
+	if bins <= 0 || math.IsNaN(low) || math.IsNaN(high) || low >= high {
+		return nil, fmt.Errorf("%w: histogram [%v,%v) bins=%d", ErrBadInput, low, high, bins)
+	}
+	return &Histogram{Low: low, High: high, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Low:
+		h.Under++
+	case x >= h.High:
+		h.Over++
+	default:
+		idx := int(float64(len(h.Counts)) * (x - h.Low) / (h.High - h.Low))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// ChernoffBound returns the two-sided Chernoff–Hoeffding tail bound of
+// the paper's Theorem 4.1: for n independent Bernoulli variables with
+// mean gamma, P[|mean − gamma| > gamma·delta] <= 2·exp(−n·gamma·delta²/3)
+// for 0 < delta <= 1.
+func ChernoffBound(n int, gamma, delta float64) (float64, error) {
+	if n <= 0 || gamma <= 0 || gamma > 1 || delta <= 0 || delta > 1 {
+		return 0, fmt.Errorf("%w: chernoff(n=%d, gamma=%v, delta=%v)", ErrBadInput, n, gamma, delta)
+	}
+	return 2 * math.Exp(-float64(n)*gamma*delta*delta/3), nil
+}
+
+// HoeffdingBound returns the two-sided Hoeffding bound for n bounded
+// [0,1] variables: P[|mean − E| > eps] <= 2·exp(−2·n·eps²).
+func HoeffdingBound(n int, eps float64) (float64, error) {
+	if n <= 0 || eps <= 0 {
+		return 0, fmt.Errorf("%w: hoeffding(n=%d, eps=%v)", ErrBadInput, n, eps)
+	}
+	return 2 * math.Exp(-2*float64(n)*eps*eps), nil
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares and returns the
+// intercept a, slope b and the coefficient of determination r².
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("%w: linear fit lengths %d vs %d", ErrBadInput, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrNoData
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: degenerate x values", ErrBadInput)
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2, nil
+}
+
+// TotalVariation returns the total-variation distance between two
+// probability vectors of equal length: (1/2)·Σ|p_i − q_i|.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("%w: TV lengths %d vs %d", ErrBadInput, len(p), len(q))
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2, nil
+}
+
+// KLDivergence returns D(p || q) in nats. Terms with p_i = 0 contribute
+// zero; a positive p_i with q_i = 0 yields +Inf.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("%w: KL lengths %d vs %d", ErrBadInput, len(p), len(q))
+	}
+	sum := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		sum += p[i] * math.Log(p[i]/q[i])
+	}
+	return sum, nil
+}
+
+// MaxRatioDeviation returns max_i |p_i/q_i − 1| over indices with
+// q_i > 0, the closeness measure of the paper's Lemma 4.5. Indices where
+// q_i == 0 but p_i > 0 yield +Inf.
+func MaxRatioDeviation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("%w: ratio lengths %d vs %d", ErrBadInput, len(p), len(q))
+	}
+	maxDev := 0.0
+	for i := range p {
+		if q[i] == 0 {
+			if p[i] > 0 {
+				return math.Inf(1), nil
+			}
+			continue
+		}
+		dev := math.Abs(p[i]/q[i] - 1)
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev, nil
+}
+
+// Entropy returns the Shannon entropy of a probability vector in nats.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// Normalize scales a non-negative vector to sum to one, returning a new
+// slice. It returns ErrBadInput when the sum is not strictly positive.
+func Normalize(xs []float64) ([]float64, error) {
+	sum := 0.0
+	for _, x := range xs {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("%w: normalize value %v", ErrBadInput, x)
+		}
+		sum += x
+	}
+	if sum <= 0 || math.IsInf(sum, 0) {
+		return nil, fmt.Errorf("%w: normalize sum %v", ErrBadInput, sum)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out, nil
+}
+
+// IsProbabilityVector reports whether p is a valid probability vector to
+// within tolerance tol.
+func IsProbabilityVector(p []float64, tol float64) bool {
+	sum := 0.0
+	for _, x := range p {
+		if math.IsNaN(x) || x < -tol || x > 1+tol {
+			return false
+		}
+		sum += x
+	}
+	return math.Abs(sum-1) <= tol
+}

@@ -1,0 +1,421 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	t.Parallel()
+
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	if _, _, err := s.CI95(); !errors.Is(err, ErrNoData) {
+		t.Fatal("CI95 on empty summary should error")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	low, high, err := s.CI95()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= s.Mean() || high <= s.Mean() {
+		t.Errorf("CI [%v,%v] does not bracket mean %v", low, high, s.Mean())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	t.Parallel()
+
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var whole, left, right Summary
+	for i, x := range data {
+		whole.Add(x)
+		if i < 4 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", left.Count(), whole.Count())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v, want %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != 1 || left.Max() != 10 {
+		t.Errorf("merged min/max %v/%v", left.Min(), left.Max())
+	}
+
+	var empty Summary
+	empty.Merge(left)
+	if empty.Count() != left.Count() || empty.Mean() != left.Mean() {
+		t.Error("merging into empty summary failed")
+	}
+	before := left.Count()
+	left.Merge(Summary{})
+	if left.Count() != before {
+		t.Error("merging empty summary changed count")
+	}
+}
+
+func TestMean(t *testing.T) {
+	t.Parallel()
+
+	if _, err := Mean(nil); !errors.Is(err, ErrNoData) {
+		t.Error("Mean(nil) should error")
+	}
+	got, err := Mean([]float64{1, 2, 3})
+	if err != nil || got != 2 {
+		t.Errorf("Mean = %v, %v; want 2, nil", got, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	tests := []struct {
+		q, want float64
+	}{
+		{q: 0, want: 1},
+		{q: 1, want: 9},
+		{q: 0.5, want: 3.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Error("empty input should error")
+	}
+	if _, err := Quantile(xs, 1.5); !errors.Is(err, ErrBadInput) {
+		t.Error("q>1 should error")
+	}
+	one, err := Quantile([]float64{7}, 0.3)
+	if err != nil || one != 7 {
+		t.Errorf("single-element quantile = %v, %v", one, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewHistogram(1, 0, 10); !errors.Is(err, ErrBadInput) {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Error("zero bins accepted")
+	}
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[5] != 1 {
+		t.Errorf("bin 5 = %d, want 1", h.Counts[5])
+	}
+	if h.Counts[9] != 1 {
+		t.Errorf("bin 9 = %d, want 1", h.Counts[9])
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestChernoffBound(t *testing.T) {
+	t.Parallel()
+
+	got, err := ChernoffBound(100, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Exp(-100*0.5*0.04/3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ChernoffBound = %v, want %v", got, want)
+	}
+	bad := []struct {
+		n            int
+		gamma, delta float64
+	}{
+		{n: 0, gamma: 0.5, delta: 0.5},
+		{n: 10, gamma: 0, delta: 0.5},
+		{n: 10, gamma: 0.5, delta: 0},
+		{n: 10, gamma: 0.5, delta: 1.5},
+		{n: 10, gamma: 1.5, delta: 0.5},
+	}
+	for _, b := range bad {
+		if _, err := ChernoffBound(b.n, b.gamma, b.delta); !errors.Is(err, ErrBadInput) {
+			t.Errorf("ChernoffBound(%d,%v,%v): want ErrBadInput", b.n, b.gamma, b.delta)
+		}
+	}
+}
+
+// TestChernoffBoundIsValid checks the bound actually dominates the
+// empirical tail probability it promises to bound.
+func TestChernoffBoundIsValid(t *testing.T) {
+	t.Parallel()
+
+	const n, trials = 200, 5000
+	const gamma, delta = 0.3, 0.5
+	r := rng.New(123)
+	exceed := 0
+	for trial := 0; trial < trials; trial++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(gamma) {
+				sum++
+			}
+		}
+		if math.Abs(float64(sum)/n-gamma) > gamma*delta {
+			exceed++
+		}
+	}
+	bound, err := ChernoffBound(n, gamma, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical := float64(exceed) / trials
+	if empirical > bound {
+		t.Errorf("empirical tail %v exceeds Chernoff bound %v", empirical, bound)
+	}
+}
+
+func TestHoeffdingBound(t *testing.T) {
+	t.Parallel()
+
+	got, err := HoeffdingBound(50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Exp(-2*50*0.01)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("HoeffdingBound = %v, want %v", got, want)
+	}
+	if _, err := HoeffdingBound(0, 0.1); !errors.Is(err, ErrBadInput) {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	t.Parallel()
+
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = (%v, %v, %v), want (1, 2, 1)", a, b, r2)
+	}
+	if _, _, _, err := LinearFit(xs, ys[:3]); !errors.Is(err, ErrBadInput) {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrNoData) {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); !errors.Is(err, ErrBadInput) {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	t.Parallel()
+
+	got, err := TotalVariation([]float64{1, 0}, []float64{0, 1})
+	if err != nil || got != 1 {
+		t.Errorf("TV = %v, %v; want 1, nil", got, err)
+	}
+	got, err = TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil || got != 0 {
+		t.Errorf("TV = %v, %v; want 0, nil", got, err)
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{1, 0}); !errors.Is(err, ErrBadInput) {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	t.Parallel()
+
+	got, err := KLDivergence([]float64{0.5, 0.5}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log(2) + 0.5*math.Log(2.0/3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	inf, err := KLDivergence([]float64{1, 0}, []float64{0, 1})
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("KL with zero support = %v, want +Inf", inf)
+	}
+	zero, err := KLDivergence([]float64{0, 1}, []float64{0, 1})
+	if err != nil || zero != 0 {
+		t.Errorf("KL(p,p) = %v, want 0", zero)
+	}
+}
+
+func TestMaxRatioDeviation(t *testing.T) {
+	t.Parallel()
+
+	got, err := MaxRatioDeviation([]float64{0.4, 0.6}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("deviation = %v, want 0.2", got)
+	}
+	inf, err := MaxRatioDeviation([]float64{0.5}, []float64{0})
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("deviation with q=0 = %v, want +Inf", inf)
+	}
+	both, err := MaxRatioDeviation([]float64{0}, []float64{0})
+	if err != nil || both != 0 {
+		t.Errorf("deviation 0/0 = %v, want 0 (skipped)", both)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	t.Parallel()
+
+	if got := Entropy([]float64{1, 0}); got != 0 {
+		t.Errorf("Entropy(point mass) = %v, want 0", got)
+	}
+	got := Entropy([]float64{0.5, 0.5})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("Entropy(uniform 2) = %v, want ln 2", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	t.Parallel()
+
+	out, err := Normalize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Errorf("Normalize = %v", out)
+	}
+	if _, err := Normalize([]float64{0, 0}); !errors.Is(err, ErrBadInput) {
+		t.Error("zero vector accepted")
+	}
+	if _, err := Normalize([]float64{-1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestIsProbabilityVector(t *testing.T) {
+	t.Parallel()
+
+	if !IsProbabilityVector([]float64{0.3, 0.7}, 1e-9) {
+		t.Error("valid vector rejected")
+	}
+	if IsProbabilityVector([]float64{0.3, 0.3}, 1e-9) {
+		t.Error("non-normalized vector accepted")
+	}
+	if IsProbabilityVector([]float64{1.5, -0.5}, 1e-9) {
+		t.Error("out-of-range entries accepted")
+	}
+}
+
+func TestQuickSummaryMeanWithinRange(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []float64) bool {
+		var s Summary
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				continue
+			}
+			s.Add(x)
+			n++
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if n == 0 {
+			return s.Count() == 0
+		}
+		return s.Count() == n && s.Mean() >= lo-1e-9*math.Abs(lo) && s.Mean() <= hi+1e-9*math.Abs(hi) && s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeSumsToOne(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		positive := false
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v > 0 {
+				positive = true
+			}
+		}
+		out, err := Normalize(xs)
+		if !positive {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return IsProbabilityVector(out, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package trace records simulation time series (popularity vectors,
+// group rewards, arbitrary named columns) and renders them as CSV for
+// plotting. cmd/sociallearn uses it for its -out flag; experiments can
+// use it to dump full trajectories behind the summary tables.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+var (
+	// ErrBadTrace reports malformed recorder usage.
+	ErrBadTrace = errors.New("trace: bad usage")
+)
+
+// Recorder accumulates rows of a fixed-width time series.
+type Recorder struct {
+	columns []string
+	rows    [][]float64
+	every   int
+	seen    int
+}
+
+// NewRecorder creates a recorder with the given column names. every
+// controls downsampling: only every k-th Record call is kept (1 keeps
+// all).
+func NewRecorder(every int, columns ...string) (*Recorder, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("%w: no columns", ErrBadTrace)
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("%w: every=%d", ErrBadTrace, every)
+	}
+	cols := make([]string, len(columns))
+	copy(cols, columns)
+	return &Recorder{columns: cols, every: every}, nil
+}
+
+// VectorColumns builds column names "prefix0..prefix{m-1}", convenient
+// for popularity vectors.
+func VectorColumns(prefix string, m int) []string {
+	cols := make([]string, m)
+	for j := range cols {
+		cols[j] = prefix + strconv.Itoa(j)
+	}
+	return cols
+}
+
+// Record appends one row (subject to downsampling). The value count
+// must match the column count.
+func (r *Recorder) Record(values ...float64) error {
+	if len(values) != len(r.columns) {
+		return fmt.Errorf("%w: %d values for %d columns", ErrBadTrace, len(values), len(r.columns))
+	}
+	r.seen++
+	if (r.seen-1)%r.every != 0 {
+		return nil
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	r.rows = append(r.rows, row)
+	return nil
+}
+
+// Len returns the number of stored rows.
+func (r *Recorder) Len() int { return len(r.rows) }
+
+// Row returns stored row i (aliased; callers must not modify).
+func (r *Recorder) Row(i int) []float64 { return r.rows[i] }
+
+// Column extracts one column by name.
+func (r *Recorder) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, c := range r.columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: unknown column %q", ErrBadTrace, name)
+	}
+	out := make([]float64, len(r.rows))
+	for i, row := range r.rows {
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// WriteCSV renders the recorded series with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.columns); err != nil {
+		return fmt.Errorf("trace: header: %w", err)
+	}
+	cells := make([]string, len(r.columns))
+	for _, row := range r.rows {
+		for i, v := range row {
+			cells[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("trace: row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}

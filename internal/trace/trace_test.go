@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewRecorder(1); !errors.Is(err, ErrBadTrace) {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewRecorder(0, "a"); !errors.Is(err, ErrBadTrace) {
+		t.Error("every=0 accepted")
+	}
+}
+
+func TestRecordAndColumns(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(1, "t", "q0", "q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(1, 2); !errors.Is(err, ErrBadTrace) {
+		t.Error("short row accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Record(float64(i), float64(i)*0.1, 1-float64(i)*0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	col, err := r.Column("q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 0 || col[2] != 0.2 {
+		t.Errorf("column = %v", col)
+	}
+	if _, err := r.Column("nope"); !errors.Is(err, ErrBadTrace) {
+		t.Error("unknown column accepted")
+	}
+	if row := r.Row(1); row[0] != 1 {
+		t.Errorf("Row(1) = %v", row)
+	}
+}
+
+func TestDownsampling(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(10, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := r.Record(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	// Kept rows are the 0th, 10th, 20th, ...
+	if r.Row(0)[0] != 0 || r.Row(1)[0] != 10 || r.Row(9)[0] != 90 {
+		t.Errorf("downsampled rows wrong: %v %v %v", r.Row(0), r.Row(1), r.Row(9))
+	}
+}
+
+func TestVectorColumns(t *testing.T) {
+	t.Parallel()
+
+	cols := VectorColumns("q", 3)
+	if len(cols) != 3 || cols[0] != "q0" || cols[2] != "q2" {
+		t.Errorf("VectorColumns = %v", cols)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(1, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,v\n0,0.5\n1,0.25\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/env"
+	"repro/internal/rng"
+)
+
+// Cluster runs the full two-stage dynamics over *real* connections:
+// every node exposes a SampleServer on its own listener, and stage one
+// samples a random peer by dialing it and exchanging framed messages.
+// It is the end-to-end "sensor network" deployment of the protocol —
+// net.Pipe listeners in tests, TCP listeners in a real fleet — and
+// demonstrates that the entire algorithm needs nothing but a one-word
+// state per node and a request/reply primitive.
+type Cluster struct {
+	mu     float64
+	rule   clusterRule
+	m      int
+	n      int
+	loss   float64
+	coordR *rng.RNG
+	nodeR  []*rng.RNG
+
+	environ env.Environment
+	rewards []float64
+
+	options []atomicInt
+	servers []*SampleServer
+	dial    []func() (connCloser, error)
+
+	fracs     []float64
+	t         int
+	groupRew  float64
+	cumReward float64
+	closed    bool
+}
+
+// clusterRule is the adoption-rule surface the cluster needs.
+type clusterRule interface {
+	Adopt(r *rng.RNG, signal float64) bool
+}
+
+// connCloser is the minimal connection surface used per exchange.
+type connCloser interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Close() error
+}
+
+// atomicInt is a mutex-guarded int; node options are read concurrently
+// by sample servers while the owner updates them between rounds.
+type atomicInt struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (a *atomicInt) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+func (a *atomicInt) store(v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v = v
+}
+
+// ClusterConfig parameterizes NewCluster.
+type ClusterConfig struct {
+	// Nodes is the fleet size (≥ 2).
+	Nodes int
+	// Mu is the exploration probability.
+	Mu float64
+	// Rule is the shared adoption rule.
+	Rule interface {
+		Adopt(r *rng.RNG, signal float64) bool
+	}
+	// Env generates per-round quality signals.
+	Env env.Environment
+	// Loss is the probability that a sample exchange fails entirely
+	// (simulating a dropped request or reply); failed samples fall back
+	// to uniform exploration.
+	Loss float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// NewCluster builds the fleet over in-memory pipe listeners. Call Close
+// to stop every server.
+func NewCluster(c ClusterConfig) (*Cluster, error) {
+	if c.Nodes < 2 {
+		return nil, fmt.Errorf("%w: nodes=%d", ErrBadFrame, c.Nodes)
+	}
+	if c.Rule == nil || c.Env == nil {
+		return nil, fmt.Errorf("%w: nil rule or env", ErrBadFrame)
+	}
+	if math.IsNaN(c.Mu) || c.Mu < 0 || c.Mu > 1 || math.IsNaN(c.Loss) || c.Loss < 0 || c.Loss > 1 {
+		return nil, fmt.Errorf("%w: mu=%v loss=%v", ErrBadFrame, c.Mu, c.Loss)
+	}
+	m := c.Env.Options()
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: %d options", ErrBadFrame, m)
+	}
+	base := rng.New(c.Seed)
+	cl := &Cluster{
+		mu:      c.Mu,
+		rule:    c.Rule,
+		m:       m,
+		n:       c.Nodes,
+		loss:    c.Loss,
+		coordR:  base.Stream(0),
+		nodeR:   make([]*rng.RNG, c.Nodes),
+		environ: c.Env,
+		rewards: make([]float64, m),
+		options: make([]atomicInt, c.Nodes),
+		servers: make([]*SampleServer, c.Nodes),
+		dial:    make([]func() (connCloser, error), c.Nodes),
+		fracs:   make([]float64, m),
+	}
+	for i := 0; i < c.Nodes; i++ {
+		i := i
+		cl.nodeR[i] = base.Stream(uint64(i) + 1)
+		cl.options[i].store(cl.nodeR[i].Intn(m))
+		listener := NewPipeListener()
+		srv, err := NewSampleServer(i, listener, cl.options[i].load)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.servers[i] = srv
+		cl.dial[i] = func() (connCloser, error) { return listener.Dial() }
+	}
+	cl.refreshFracs()
+	return cl, nil
+}
+
+func (cl *Cluster) refreshFracs() {
+	for j := range cl.fracs {
+		cl.fracs[j] = 0
+	}
+	inc := 1 / float64(cl.n)
+	for i := range cl.options {
+		cl.fracs[cl.options[i].load()] += inc
+	}
+}
+
+// T returns the number of completed rounds.
+func (cl *Cluster) T() int { return cl.t }
+
+// Fractions returns the per-option fleet shares.
+func (cl *Cluster) Fractions() []float64 {
+	out := make([]float64, cl.m)
+	copy(out, cl.fracs)
+	return out
+}
+
+// GroupReward returns the latest round's group reward.
+func (cl *Cluster) GroupReward() float64 { return cl.groupRew }
+
+// CumulativeGroupReward returns the running total.
+func (cl *Cluster) CumulativeGroupReward() float64 { return cl.cumReward }
+
+// Step runs one round: every node samples over a real connection (in
+// parallel), then the round's signals are drawn and adoption decisions
+// are applied.
+func (cl *Cluster) Step() error {
+	if cl.closed {
+		return fmt.Errorf("%w: cluster closed", ErrClosed)
+	}
+	candidates := make([]int, cl.n)
+	var wg sync.WaitGroup
+	for i := 0; i < cl.n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := cl.nodeR[i]
+			if r.Bernoulli(cl.mu) {
+				candidates[i] = r.Intn(cl.m)
+				return
+			}
+			peer := r.Intn(cl.n - 1)
+			if peer >= i {
+				peer++
+			}
+			if r.Bernoulli(cl.loss) {
+				candidates[i] = r.Intn(cl.m) // exchange dropped; explore
+				return
+			}
+			conn, err := cl.dial[peer]()
+			if err != nil {
+				candidates[i] = r.Intn(cl.m)
+				return
+			}
+			opt, err := Sample(conn, i)
+			_ = conn.Close()
+			if err != nil || opt < 0 || opt >= cl.m {
+				candidates[i] = r.Intn(cl.m)
+				return
+			}
+			candidates[i] = opt
+		}()
+	}
+	wg.Wait()
+
+	if err := cl.environ.Step(cl.coordR, cl.rewards); err != nil {
+		return fmt.Errorf("wire: cluster environment step: %w", err)
+	}
+	g := 0.0
+	for j, rew := range cl.rewards {
+		g += cl.fracs[j] * rew
+	}
+	cl.groupRew = g
+	cl.cumReward += g
+
+	for i := 0; i < cl.n; i++ {
+		j := candidates[i]
+		if cl.rule.Adopt(cl.nodeR[i], cl.rewards[j]) {
+			cl.options[i].store(j)
+		}
+	}
+	cl.refreshFracs()
+	cl.t++
+	return nil
+}
+
+// Close shuts down every node's sample server. Safe to call repeatedly.
+func (cl *Cluster) Close() {
+	if cl.closed {
+		return
+	}
+	cl.closed = true
+	for _, srv := range cl.servers {
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/env"
+	"repro/internal/stats"
+)
+
+func clusterConfig(t *testing.T) ClusterConfig {
+	t.Helper()
+	rule, err := agent.NewSymmetric(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	environ, err := env.NewIIDBernoulli([]float64{0.9, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClusterConfig{
+		Nodes: 60,
+		Mu:    0.02,
+		Rule:  rule,
+		Env:   environ,
+		Seed:  1,
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	t.Parallel()
+
+	c := clusterConfig(t)
+	c.Nodes = 1
+	if _, err := NewCluster(c); !errors.Is(err, ErrBadFrame) {
+		t.Error("nodes=1 accepted")
+	}
+	c = clusterConfig(t)
+	c.Rule = nil
+	if _, err := NewCluster(c); !errors.Is(err, ErrBadFrame) {
+		t.Error("nil rule accepted")
+	}
+	c = clusterConfig(t)
+	c.Mu = 2
+	if _, err := NewCluster(c); !errors.Is(err, ErrBadFrame) {
+		t.Error("mu=2 accepted")
+	}
+	c = clusterConfig(t)
+	c.Loss = -1
+	if _, err := NewCluster(c); !errors.Is(err, ErrBadFrame) {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestClusterConvergesOverRealConnections(t *testing.T) {
+	t.Parallel()
+
+	cl, err := NewCluster(clusterConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 250; i++ {
+		if err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if !stats.IsProbabilityVector(cl.Fractions(), 1e-9) {
+			t.Fatalf("round %d: fractions %v", i, cl.Fractions())
+		}
+	}
+	sum := 0.0
+	const window = 150
+	for i := 0; i < window; i++ {
+		if err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sum += cl.Fractions()[0]
+	}
+	if avg := sum / window; avg < 0.7 {
+		t.Errorf("cluster best-option share %v, want > 0.7", avg)
+	}
+	if cl.T() != 400 {
+		t.Errorf("T = %d", cl.T())
+	}
+	if cl.CumulativeGroupReward() <= 0 {
+		t.Error("no group reward accumulated")
+	}
+}
+
+func TestClusterWithLoss(t *testing.T) {
+	t.Parallel()
+
+	c := clusterConfig(t)
+	c.Loss = 0.2
+	cl, err := NewCluster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 100; i++ {
+		if err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !stats.IsProbabilityVector(cl.Fractions(), 1e-9) {
+		t.Error("fractions corrupted under loss")
+	}
+}
+
+func TestClusterCloseIdempotentAndStops(t *testing.T) {
+	t.Parallel()
+
+	cl, err := NewCluster(clusterConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close()
+	if err := cl.Step(); !errors.Is(err, ErrClosed) {
+		t.Error("Step after Close succeeded")
+	}
+}

@@ -1,0 +1,28 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the frame decoder: it must never
+// panic, and any frame it accepts must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add([]byte{2, 0, 0, 0, 7, 0, 0, 0, 3, 0, 0, 0, 2})
+	f.Add([]byte{42, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, msg); err != nil {
+			t.Fatalf("decoded message failed to encode: %+v: %v", msg, err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:frameSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out.Bytes(), data[:frameSize])
+		}
+	})
+}

@@ -1,0 +1,271 @@
+// Package wire gives the sensor-network protocol a real byte-level
+// transport: a fixed binary framing for protocol messages and a
+// request/reply sample service over any net.Conn. It is the deployment
+// layer the paper's introduction gestures at ("low-power devices in
+// distributed settings such as sensor networks") — internal/protocol
+// simulates the rounds; this package shows the same messages moving
+// over actual connections (net.Pipe in tests, TCP in deployments).
+//
+// Frame layout (big endian):
+//
+//	byte 0      message kind (1 = sample request, 2 = sample reply)
+//	bytes 1-4   from node ID (uint32)
+//	bytes 5-8   to node ID (uint32)
+//	bytes 9-12  option (uint32; meaningful for replies)
+//
+// Thirteen bytes per message, no allocation on the hot path.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+const frameSize = 13
+
+var (
+	// ErrBadFrame reports a malformed or unknown frame.
+	ErrBadFrame = errors.New("wire: bad frame")
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("wire: closed")
+)
+
+// Encode writes one message frame to w.
+func Encode(w io.Writer, msg protocol.Message) error {
+	if msg.Kind != protocol.KindSampleRequest && msg.Kind != protocol.KindSampleReply {
+		return fmt.Errorf("%w: kind %d", ErrBadFrame, msg.Kind)
+	}
+	if msg.From < 0 || msg.To < 0 || msg.Option < 0 ||
+		msg.From > math.MaxUint32 || msg.To > math.MaxUint32 || msg.Option > math.MaxUint32 {
+		return fmt.Errorf("%w: field out of uint32 range", ErrBadFrame)
+	}
+	var buf [frameSize]byte
+	buf[0] = byte(msg.Kind)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(msg.From))
+	binary.BigEndian.PutUint32(buf[5:9], uint32(msg.To))
+	binary.BigEndian.PutUint32(buf[9:13], uint32(msg.Option))
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one message frame from r.
+func Decode(r io.Reader) (protocol.Message, error) {
+	var buf [frameSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return protocol.Message{}, fmt.Errorf("wire: read frame: %w", err)
+	}
+	kind := protocol.MessageKind(buf[0])
+	if kind != protocol.KindSampleRequest && kind != protocol.KindSampleReply {
+		return protocol.Message{}, fmt.Errorf("%w: kind %d", ErrBadFrame, buf[0])
+	}
+	return protocol.Message{
+		Kind:   kind,
+		From:   int(binary.BigEndian.Uint32(buf[1:5])),
+		To:     int(binary.BigEndian.Uint32(buf[5:9])),
+		Option: int(binary.BigEndian.Uint32(buf[9:13])),
+	}, nil
+}
+
+// SampleServer answers sample requests on incoming connections with the
+// node's current option. The option source is a callback so the owner
+// can keep updating its choice while the server runs.
+type SampleServer struct {
+	id      int
+	current func() int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewSampleServer starts serving on l. current must be safe for
+// concurrent use. Close the server to stop and join all handlers.
+func NewSampleServer(id int, l net.Listener, current func() int) (*SampleServer, error) {
+	if l == nil || current == nil || id < 0 {
+		return nil, fmt.Errorf("%w: invalid server arguments", ErrBadFrame)
+	}
+	s := &SampleServer{
+		id:       id,
+		current:  current,
+		listener: l,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *SampleServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ServeConn answers sample requests on a pre-established connection
+// until it closes; used with transports that have no Listener (e.g.
+// net.Pipe).
+func (s *SampleServer) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serveConn(conn)
+}
+
+func (s *SampleServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		msg, err := Decode(conn)
+		if err != nil {
+			return
+		}
+		if msg.Kind != protocol.KindSampleRequest {
+			continue
+		}
+		reply := protocol.Message{
+			Kind:   protocol.KindSampleReply,
+			From:   s.id,
+			To:     msg.From,
+			Option: s.current(),
+		}
+		if err := Encode(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every open connection and waits for
+// handlers to exit. Safe to call more than once.
+func (s *SampleServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Sample performs one request/reply exchange on conn: it asks peer for
+// its current option on behalf of node from. Any bidirectional byte
+// stream works (net.Conn, net.Pipe, ...).
+func Sample(conn io.ReadWriter, from int) (option int, err error) {
+	req := protocol.Message{Kind: protocol.KindSampleRequest, From: from, To: 0}
+	if err := Encode(conn, req); err != nil {
+		return 0, err
+	}
+	reply, err := Decode(conn)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Kind != protocol.KindSampleReply {
+		return 0, fmt.Errorf("%w: expected reply, got kind %d", ErrBadFrame, reply.Kind)
+	}
+	return reply.Option, nil
+}
+
+// pipeListener adapts a channel of pre-made connections into a
+// net.Listener, letting SampleServer run over net.Pipe in tests.
+type pipeListener struct {
+	conns  chan net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+// NewPipeListener returns a listener whose Accept yields connections
+// pushed through Dial.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{
+		inner: pipeListener{
+			conns:  make(chan net.Conn),
+			closed: make(chan struct{}),
+		},
+	}
+}
+
+// PipeListener is an in-memory listener for tests and demos.
+type PipeListener struct {
+	inner pipeListener
+}
+
+var _ net.Listener = (*PipeListener)(nil)
+
+// Dial creates a connected net.Pipe pair, hands one end to the
+// listener's Accept and returns the other.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.inner.conns <- server:
+		return client, nil
+	case <-l.inner.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.inner.conns:
+		return c, nil
+	case <-l.inner.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *PipeListener) Close() error {
+	l.inner.once.Do(func() { close(l.inner.closed) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

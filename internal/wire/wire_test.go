@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/protocol"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	msgs := []protocol.Message{
+		{Kind: protocol.KindSampleRequest, From: 0, To: 1},
+		{Kind: protocol.KindSampleReply, From: 7, To: 3, Option: 2},
+		{Kind: protocol.KindSampleReply, From: 1 << 20, To: 1 << 30, Option: 4294967295},
+	}
+	var buf bytes.Buffer
+	for _, msg := range msgs {
+		if err := Encode(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	t.Parallel()
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, protocol.Message{Kind: 99}); !errors.Is(err, ErrBadFrame) {
+		t.Error("unknown kind accepted")
+	}
+	if err := Encode(&buf, protocol.Message{Kind: protocol.KindSampleReply, From: -1}); !errors.Is(err, ErrBadFrame) {
+		t.Error("negative field accepted")
+	}
+	if err := Encode(&buf, protocol.Message{Kind: protocol.KindSampleReply, Option: 1 << 40}); !errors.Is(err, ErrBadFrame) {
+		t.Error("oversized field accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
+
+	// Truncated frame.
+	if _, err := Decode(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Unknown kind.
+	bad := make([]byte, 13)
+	bad[0] = 42
+	if _, err := Decode(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Error("unknown kind decoded")
+	}
+	// Empty stream.
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Error("EOF not surfaced")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	f := func(kindBit bool, from, to, option uint32) bool {
+		kind := protocol.KindSampleRequest
+		if kindBit {
+			kind = protocol.KindSampleReply
+		}
+		msg := protocol.Message{Kind: kind, From: int(from), To: int(to), Option: int(option)}
+		var buf bytes.Buffer
+		if err := Encode(&buf, msg); err != nil {
+			return false
+		}
+		if buf.Len() != frameSize {
+			return false
+		}
+		got, err := Decode(&buf)
+		return err == nil && got == msg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleOverPipe(t *testing.T) {
+	t.Parallel()
+
+	var current atomic.Int64
+	current.Store(3)
+
+	l := NewPipeListener()
+	srv, err := NewSampleServer(9, l, func() int { return int(current.Load()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	opt, err := Sample(conn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 {
+		t.Errorf("sampled option %d, want 3", opt)
+	}
+	// The server reflects live state changes.
+	current.Store(1)
+	opt, err = Sample(conn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("sampled option %d after update, want 1", opt)
+	}
+}
+
+func TestSampleOverTCP(t *testing.T) {
+	t.Parallel()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP available: %v", err)
+	}
+	srv, err := NewSampleServer(2, l, func() int { return 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for i := 0; i < 10; i++ {
+		opt, err := Sample(conn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt != 5 {
+			t.Fatalf("sampled %d, want 5", opt)
+		}
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	t.Parallel()
+
+	l := NewPipeListener()
+	srv, err := NewSampleServer(0, l, func() int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := Sample(conn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatal(err)
+	}
+	// Further samples fail once the server is gone.
+	if _, err := Sample(conn, 1); err == nil {
+		t.Error("sample succeeded after server close")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestPipeListenerCloseUnblocksDial(t *testing.T) {
+	t.Parallel()
+
+	l := NewPipeListener()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Dial(); !errors.Is(err, ErrClosed) {
+		t.Error("dial on closed listener succeeded")
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Error("accept on closed listener succeeded")
+	}
+	if l.Addr().Network() != "pipe" {
+		t.Error("addr wrong")
+	}
+}
+
+func TestServeConnDirect(t *testing.T) {
+	t.Parallel()
+
+	l := NewPipeListener()
+	srv, err := NewSampleServer(3, l, func() int { return 8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	srv.ServeConn(server)
+
+	opt, err := Sample(client, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 8 {
+		t.Errorf("sampled %d, want 8", opt)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	msg := protocol.Message{Kind: protocol.KindSampleReply, From: 1, To: 2, Option: 3}
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
