@@ -6,10 +6,12 @@
 package repro_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/service"
 )
 
 func reportAll(b *testing.B, metrics map[string]float64, keys ...string) {
@@ -218,4 +220,79 @@ func BenchmarkE14Protocol(b *testing.B) {
 		}
 	}
 	reportAll(b, res.Metrics, "share/loss=0.00", "share/loss=0.10", "msgs/loss=0.00")
+}
+
+// BenchmarkServiceSimulate times the serving path of internal/service
+// through cache+scheduler, separating the cache-cold (every request
+// simulates) and cache-hot (every request is answered from the LRU)
+// regimes so serving-path throughput is tracked across PRs.
+func BenchmarkServiceSimulate(b *testing.B) {
+	newStack := func(b *testing.B, cacheSize int) (*service.Scheduler, *service.Cache) {
+		b.Helper()
+		sched, err := service.NewScheduler(service.SchedulerConfig{Workers: 4, QueueDepth: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(sched.Close)
+		cache, err := service.NewCache(cacheSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sched, cache
+	}
+	spec := service.Spec{
+		N:         10_000,
+		Qualities: []float64{0.9, 0.5, 0.5},
+		Beta:      0.7,
+		Steps:     1_000,
+		Seed:      1,
+	}
+	simulate := func(b *testing.B, sched *service.Scheduler, cache *service.Cache, spec service.Spec) *service.Report {
+		b.Helper()
+		hash, err := spec.Hash()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, _, err := cache.Do(context.Background(), hash, func() (*service.Report, error) {
+			job, err := sched.Submit(spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				return nil, err
+			}
+			if err := job.Err(); err != nil {
+				return nil, err
+			}
+			return job.Report(), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return report
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		sched, cache := newStack(b, 0) // storage off: every request simulates
+		for i := 0; i < b.N; i++ {
+			s := spec
+			s.Seed = uint64(i + 1) // distinct hash per request
+			if r := simulate(b, sched, cache, s); r.Replications != 1 {
+				b.Fatal("bad report")
+			}
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		sched, cache := newStack(b, 16)
+		simulate(b, sched, cache, spec) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := simulate(b, sched, cache, spec); r.Replications != 1 {
+				b.Fatal("bad report")
+			}
+		}
+		if st := cache.Stats(); st.Hits < uint64(b.N) {
+			b.Fatalf("hot loop missed the cache: %+v", st)
+		}
+	})
 }

@@ -1,0 +1,114 @@
+// Command reprod is the simulation-serving daemon: it exposes the
+// library through internal/service's HTTP API with a bounded sharded
+// scheduler and an LRU result cache, and shuts down gracefully,
+// draining in-flight jobs, on SIGINT/SIGTERM.
+//
+// Example:
+//
+//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
+//	curl -s localhost:8080/v1/simulate -d \
+//	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled or serving
+// fails. If ready is non-nil, the bound address is sent on it once the
+// listener is up (used by tests to serve on :0).
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker shards executing jobs")
+		queue    = fs.Int("queue", 64, "queued jobs per shard before admission control sheds load")
+		cache    = fs.Int("cache", 1024, "cached reports (0 disables storage, keeps single-flight)")
+		retain   = fs.Int("retain", 1024, "finished jobs kept queryable")
+		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(logw, "reprod: ", log.LstdFlags)
+
+	sched, err := service.NewScheduler(service.SchedulerConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		RetainJobs: *retain,
+	})
+	if err != nil {
+		return err
+	}
+	resultCache, err := service.NewCache(*cache)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           service.NewServer(sched, resultCache),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	logger.Printf("serving on %s (workers=%d queue=%d cache=%d)", ln.Addr(), *workers, *queue, *cache)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		sched.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutdown: draining for up to %s", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: http: %v", err)
+	}
+	// Stop admissions and let queued + running jobs finish.
+	drained := make(chan struct{})
+	go func() {
+		sched.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		logger.Printf("shutdown: drained cleanly")
+	case <-shutdownCtx.Done():
+		logger.Printf("shutdown: drain budget exceeded, exiting with jobs in flight")
+	}
+	return nil
+}

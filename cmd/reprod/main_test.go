@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL plus a shutdown func that triggers the graceful path.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "4", "-cache", "8"}, extraArgs...)
+	go func() {
+		errCh <- run(ctx, args, io.Discard, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	stopped := false
+	stop := func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("daemon did not stop")
+		}
+	}
+	t.Cleanup(func() { _ = stop() })
+	return "http://" + addr.String(), stop
+}
+
+func TestDaemonServesSimulate(t *testing.T) {
+	t.Parallel()
+
+	base, _ := startDaemon(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"n": 2000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 300, "seed": 9}`
+	for i, wantCached := range []bool{false, true} {
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %d: status %d (%s)", i, resp.StatusCode, raw)
+		}
+		var out struct {
+			Cached bool      `json:"cached"`
+			Regret float64   `json:"regret"`
+			Pop    []float64 `json:"popularity"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Cached != wantCached {
+			t.Errorf("request %d cached=%v, want %v", i, out.Cached, wantCached)
+		}
+		if len(out.Pop) != 3 {
+			t.Errorf("request %d popularity %v", i, out.Pop)
+		}
+	}
+}
+
+// TestDaemonGracefulShutdown submits work, stops the daemon, and
+// checks it exits cleanly (drained) rather than hanging or erroring.
+func TestDaemonGracefulShutdown(t *testing.T) {
+	t.Parallel()
+
+	base, stop := startDaemon(t)
+	body := `{"n": 1000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 3}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The listener is gone afterwards.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-workers", "0"}, io.Discard, nil); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if err := run(ctx, []string{"-cache", "-1"}, io.Discard, nil); err == nil {
+		t.Error("cache=-1 accepted")
+	}
+	if err := run(ctx, []string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Error("bad addr accepted")
+	}
+}

@@ -7,5 +7,18 @@
 // harness (experiments E01–E14 of DESIGN.md), and the cmd/ and examples/
 // directories for runnable programs. bench_test.go in this directory
 // hosts one benchmark per experiment plus the ablation benches for the
-// design choices called out in DESIGN.md.
+// design choices called out in DESIGN.md and the serving-path
+// benchmarks for internal/service.
+//
+// The serving layer lives in internal/service: a JSON Spec that
+// validates through core.Config and hashes deterministically to a
+// cache key, a bounded sharded job scheduler with admission control
+// and per-job cancellation, an LRU result cache with single-flight
+// deduplication, and net/http handlers (synchronous POST /v1/simulate,
+// asynchronous POST /v1/jobs + GET /v1/jobs/{id}, NDJSON trace
+// streaming, /healthz, /statsz). cmd/reprod is the daemon binary:
+//
+//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
+//	curl -s localhost:8080/v1/simulate -d \
+//	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
 package repro

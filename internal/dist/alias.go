@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Alias is a Walker/Vose alias table: O(m) construction, O(1) draws
+// from a fixed categorical distribution.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds the table for the given weights (non-negative,
+// finite, positive sum; normalized internally).
+func NewAlias(weights []float64) (*Alias, error) {
+	m := len(weights)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: alias with no weights", ErrBadParam)
+	}
+	total := 0.0
+	for j, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("%w: alias weight[%d]=%v", ErrBadParam, j, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: alias weights sum to %v", ErrBadParam, total)
+	}
+	a := &Alias{prob: make([]float64, m), alias: make([]int, m)}
+	scaled := make([]float64, m)
+	small := make([]int, 0, m)
+	large := make([]int, 0, m)
+	for j, w := range weights {
+		scaled[j] = w / total * float64(m)
+		if scaled[j] < 1 {
+			small = append(small, j)
+		} else {
+			large = append(large, j)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Rounding leftovers: every remaining column keeps its own index.
+	for _, j := range large {
+		a.prob[j] = 1
+		a.alias[j] = j
+	}
+	for _, j := range small {
+		a.prob[j] = 1
+		a.alias[j] = j
+	}
+	return a, nil
+}
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one category index.
+func (a *Alias) Sample(r *rng.RNG) int {
+	j := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[j] {
+		return j
+	}
+	return a.alias[j]
+}

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Regime thresholds for Binomial. Exported only through behavior; the
+// A02 ablation exercises one case per regime.
+const (
+	directMaxN  = 30 // n ≤ 30 with small n·p: plain Bernoulli loop
+	btrsMinMean = 10 // n·p ≥ 10 (after symmetry): transformed rejection
+)
+
+// Binomial draws k ~ Bin(n, p) exactly. It dispatches by regime:
+// symmetry reduction for p > 1/2, BTRS (Hörmann's transformed
+// rejection) when n·p ≥ 10, a direct Bernoulli loop for small n, and
+// geometric failure-skipping otherwise (large n, tiny p).
+func Binomial(r *rng.RNG, n int, p float64) (int, error) {
+	if r == nil || n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("%w: binomial(n=%d, p=%v)", ErrBadParam, n, p)
+	}
+	if n == 0 || p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		return n, nil
+	}
+	if p > 0.5 {
+		k, err := Binomial(r, n, 1-p)
+		return n - k, err
+	}
+	if float64(n)*p >= btrsMinMean {
+		return btrs(r, n, p), nil
+	}
+	if n <= directMaxN {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				k++
+			}
+		}
+		return k, nil
+	}
+	return geometricBinomial(r, n, p), nil
+}
+
+// BinomialMean returns n·p.
+func BinomialMean(n int, p float64) float64 { return float64(n) * p }
+
+// BinomialVariance returns n·p·(1−p).
+func BinomialVariance(n int, p float64) float64 { return float64(n) * p * (1 - p) }
+
+// geometricBinomial counts successes by skipping failure runs with
+// geometric jumps — O(n·p) expected work, exact for 0 < p ≤ 1/2.
+func geometricBinomial(r *rng.RNG, n int, p float64) int {
+	lq := math.Log1p(-p)
+	k := 0
+	i := 0
+	for {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		jump := math.Floor(math.Log(u) / lq)
+		if jump >= float64(n-i) { // next success falls past the end
+			return k
+		}
+		i += int(jump) + 1
+		k++
+		if i >= n {
+			return k
+		}
+	}
+}
+
+// btrs draws Bin(n, p) by Hörmann's BTRS transformed-rejection
+// algorithm (1993); requires 0 < p ≤ 1/2 and n·p ≥ 10.
+func btrs(r *rng.RNG, n int, p float64) int {
+	q := 1 - p
+	nf := float64(n)
+	spq := math.Sqrt(nf * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor(float64(n+1) * p)
+	h := lgamma(m+1) + lgamma(nf-m+1)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > nf {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		// Squeeze failed: exact log-acceptance test.
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		if v <= h-lgamma(kf+1)-lgamma(nf-kf+1)+(kf-m)*lpq {
+			return int(kf)
+		}
+	}
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Multinomial draws counts ~ Mult(n; probs) by the conditional-binomial
+// decomposition: each bucket j takes Bin(remaining, p_j / p_{≥j}).
+// probs must be non-negative and finite with a positive sum (they are
+// normalized internally, so slightly-off-by-rounding vectors are fine).
+func Multinomial(r *rng.RNG, n int, probs []float64) ([]int, error) {
+	if r == nil || n < 0 || len(probs) == 0 {
+		return nil, fmt.Errorf("%w: multinomial(n=%d, m=%d)", ErrBadParam, n, len(probs))
+	}
+	total := 0.0
+	for j, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, fmt.Errorf("%w: multinomial prob[%d]=%v", ErrBadParam, j, p)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: multinomial probs sum to %v", ErrBadParam, total)
+	}
+	out := make([]int, len(probs))
+	remaining := n
+	remainingP := total
+	for j := 0; j < len(probs)-1 && remaining > 0; j++ {
+		if remainingP <= 0 {
+			break
+		}
+		pj := probs[j] / remainingP
+		if pj > 1 {
+			pj = 1
+		}
+		k, err := Binomial(r, remaining, pj)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = k
+		remaining -= k
+		remainingP -= probs[j]
+	}
+	out[len(probs)-1] += remaining
+	return out, nil
+}

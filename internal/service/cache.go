@@ -1,0 +1,169 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cache is an LRU result cache keyed by spec hash, with single-flight
+// deduplication: concurrent Do calls for one key run compute exactly
+// once and share the outcome. Capacity 0 disables storage but keeps
+// the deduplication.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	flights  map[string]*flight
+
+	hits, misses, waits, evictions uint64
+}
+
+type cacheEntry struct {
+	key    string
+	report *Report
+}
+
+// flight is one in-progress computation; done closes when report/err
+// are final.
+type flight struct {
+	done   chan struct{}
+	report *Report
+	err    error
+}
+
+// CacheStats is a point-in-time snapshot for /statsz.
+type CacheStats struct {
+	Capacity int `json:"capacity"`
+	Size     int `json:"size"`
+	// Hits counts Do calls answered from the stored LRU.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that started a computation.
+	Misses uint64 `json:"misses"`
+	// Waits counts Do calls deduplicated onto an in-flight
+	// computation.
+	Waits     uint64 `json:"waits"`
+	Evictions uint64 `json:"evictions"`
+	// HitRate is (Hits+Waits) / (Hits+Waits+Misses), the fraction of
+	// requests that did not pay for a simulation.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// NewCache builds a cache holding up to capacity reports (capacity ≥
+// 0).
+func NewCache(capacity int) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("%w: cache capacity=%d", ErrBadSpec, capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}, nil
+}
+
+// Get returns the stored report for key, bumping its recency.
+func (c *Cache) Get(key string) (*Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Do returns the cached report for key, or arranges for compute to run
+// exactly once across all concurrent callers and shares its result.
+// cached reports whether this caller avoided starting a computation
+// (stored hit or deduplicated join). compute runs in its own
+// goroutine, so an expired ctx abandons only this caller's wait — the
+// computation still completes and populates the cache for others.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, error)) (report *Report, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).report, true, nil
+	}
+	f, inFlight := c.flights[key]
+	if inFlight {
+		c.waits++
+	} else {
+		f = &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		go c.lead(key, f, compute)
+	}
+	c.mu.Unlock()
+	select {
+	case <-f.done:
+		return f.report, inFlight, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// lead runs the computation for one flight and publishes the result.
+func (c *Cache) lead(key string, f *flight, compute func() (*Report, error)) {
+	report, err := compute()
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && report != nil {
+		c.store(key, report)
+	}
+	c.mu.Unlock()
+	f.report = report
+	f.err = err
+	close(f.done)
+}
+
+// store inserts under c.mu, evicting the least-recently-used entries
+// over capacity.
+func (c *Cache) store(key string, report *Report) {
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, report: report})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of stored reports.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Capacity:  c.capacity,
+		Size:      c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Waits:     c.waits,
+		Evictions: c.evictions,
+	}
+	if total := s.Hits + s.Waits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits+s.Waits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewCacheValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewCache(-1); err == nil {
+		t.Error("capacity=-1 accepted")
+	}
+}
+
+func TestCacheHitAndIdenticalReport(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Report{SpecHash: "k1", Regret: 0.25}
+	r1, cached, err := c.Do(context.Background(), "k1", func() (*Report, error) { return want, nil })
+	if err != nil || cached {
+		t.Fatalf("first Do: report=%v cached=%v err=%v", r1, cached, err)
+	}
+	r2, cached, err := c.Do(context.Background(), "k1", func() (*Report, error) {
+		t.Error("compute ran on a warm key")
+		return nil, nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v", cached, err)
+	}
+	if r1 != r2 {
+		t.Error("cache hit returned a different report pointer")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", st.HitRate)
+	}
+}
+
+// TestCacheSingleFlight launches many concurrent identical requests
+// and checks compute ran exactly once; run under -race this also
+// proves the flight plumbing is data-race free.
+func TestCacheSingleFlight(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 32
+	var wg sync.WaitGroup
+	reports := make([]*Report, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], _, errs[i] = c.Do(context.Background(), "hot", func() (*Report, error) {
+				computes.Add(1)
+				<-release // hold the flight open until everyone queued
+				return &Report{SpecHash: "hot"}, nil
+			})
+		}(i)
+	}
+	// Give every goroutine a chance to join the flight, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Misses+st.Waits+st.Hits >= callers || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if reports[i] != reports[0] {
+			t.Errorf("caller %d got a different report", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Waits != callers-1 {
+		t.Errorf("hits+waits = %d, want %d", st.Hits+st.Waits, callers-1)
+	}
+}
+
+// TestCacheErrorNotStored checks failed computations are not cached
+// and are shared with concurrent waiters.
+func TestCacheErrorNotStored(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() (*Report, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed result stored")
+	}
+	// The key retries after a failure.
+	report, cached, err := c.Do(context.Background(), "k", func() (*Report, error) {
+		return &Report{SpecHash: "k"}, nil
+	})
+	if err != nil || cached || report == nil {
+		t.Errorf("retry after failure: report=%v cached=%v err=%v", report, cached, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(key string) {
+		t.Helper()
+		if _, _, err := c.Do(context.Background(), key, func() (*Report, error) {
+			return &Report{SpecHash: key}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	if _, ok := c.Get("a"); !ok { // bump a → b is now LRU
+		t.Fatal("a missing")
+	}
+	mk("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("new c missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCacheZeroCapacity keeps single-flight semantics without storing.
+func TestCacheZeroCapacity(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Do(context.Background(), "k", func() (*Report, error) {
+			calls++
+			return &Report{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("capacity 0 cached: %d calls, want 2", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+// TestCacheWaiterContext checks an expired waiter abandons the flight
+// while the computation still completes and populates the cache.
+func TestCacheWaiterContext(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "slow", func() (*Report, error) {
+			close(started)
+			<-release
+			return &Report{SpecHash: "slow"}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "slow", func() (*Report, error) {
+		return nil, fmt.Errorf("must not run")
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if report, ok := c.Get("slow"); !ok || report == nil {
+		t.Error("abandoned computation did not populate the cache")
+	}
+}

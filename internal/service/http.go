@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; a Spec with MaxOptions qualities
+// fits comfortably.
+const maxBodyBytes = 1 << 20
+
+// Server exposes the scheduler and cache over HTTP:
+//
+//	POST   /v1/simulate        synchronous, cached, single-flight
+//	POST   /v1/jobs            asynchronous submission → 202 + id
+//	GET    /v1/jobs/{id}       job status (+ report when done)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace completed job's trajectory as NDJSON
+//	GET    /healthz            liveness
+//	GET    /statsz             queue, cache, and traffic counters
+type Server struct {
+	sched *Scheduler
+	cache *Cache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wires the routes.
+func NewServer(sched *Scheduler, cache *Cache) *Server {
+	s := &Server{
+		sched: sched,
+		cache: cache,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is every non-2xx payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // headers are gone; nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeSpec reads, validates, and hashes the request body.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, string, bool) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return Spec{}, "", false
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return Spec{}, "", false
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return Spec{}, "", false
+	}
+	return spec, hash, true
+}
+
+// simulateResponse wraps the report for the synchronous endpoint.
+type simulateResponse struct {
+	Cached bool `json:"cached"`
+	*Report
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	spec, hash, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	report, cached, err := s.cache.Do(r.Context(), hash, func() (*Report, error) {
+		job, err := s.sched.SubmitValidated(spec, hash)
+		if err != nil {
+			return nil, err
+		}
+		// Wait on the job's own lifetime, not the leader request's:
+		// deduplicated followers and future cache hits still want the
+		// result if this client hangs up.
+		if err := job.Wait(context.Background()); err != nil {
+			return nil, err
+		}
+		if jobErr := job.Err(); jobErr != nil {
+			return nil, jobErr
+		}
+		return job.Report(), nil
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, simulateResponse{Cached: cached, Report: report})
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Client went away; status code is moot but keep the log shape.
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// jobResponse describes a job's externally visible state.
+type jobResponse struct {
+	ID       string     `json:"id"`
+	SpecHash string     `json:"spec_hash"`
+	Status   JobStatus  `json:"status"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Report   *Report    `json:"report,omitempty"`
+}
+
+func jobView(job *Job) jobResponse {
+	resp := jobResponse{
+		ID:       job.ID(),
+		SpecHash: job.SpecHash(),
+		Status:   job.Status(),
+		Report:   job.Report(),
+	}
+	created, started, finished := job.Times()
+	resp.Created = created
+	if !started.IsZero() {
+		resp.Started = &started
+	}
+	if !finished.IsZero() {
+		resp.Finished = &finished
+	}
+	if err := job.Err(); err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	spec, hash, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.sched.SubmitValidated(spec, hash)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, jobView(job))
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// lookupJob resolves {id}, writing 404 on unknown ids.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, http.StatusOK, jobView(job))
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookupJob(w, r); ok {
+		job.Cancel()
+		writeJSON(w, http.StatusOK, jobView(job))
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	switch job.Status() {
+	case JobDone:
+	case JobQueued, JobRunning:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("service: job %s is %s; trace is available once done", job.ID(), job.Status()))
+		return
+	default:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("service: job %s is %s and has no trace", job.ID(), job.Status()))
+		return
+	}
+	rec := job.Trace()
+	if rec == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("service: job %s recorded no trace; submit with trace_every > 0", job.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Trace-Rows", strconv.Itoa(rec.Len()))
+	w.WriteHeader(http.StatusOK)
+	_ = rec.WriteNDJSON(w) // mid-stream failure means the client left
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszResponse aggregates the operational counters.
+type statszResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Scheduler     SchedulerStats `json:"scheduler"`
+	Cache         CacheStats     `json:"cache"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Scheduler:     s.sched.Stats(),
+		Cache:         s.cache.Stats(),
+	})
+}

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+var (
+	// ErrOverloaded reports that admission control rejected a job
+	// because the target shard's queue is full.
+	ErrOverloaded = errors.New("service: overloaded: job queue full")
+	// ErrClosed reports a submission to a closed scheduler.
+	ErrClosed = errors.New("service: scheduler closed")
+	// ErrUnknownJob reports a lookup of an unknown or evicted job.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// ctxCheckEvery is how many simulation steps run between context
+// cancellation checks.
+const ctxCheckEvery = 2048
+
+// Report is the JSON result of one completed simulation job. With
+// Replications=1 its Regret and Popularity equal a direct
+// core.New(...).Run(...) with the same seed; with more replications
+// they are means across independent seeds.
+type Report struct {
+	// SpecHash is the canonical cache key of the spec that produced
+	// this report.
+	SpecHash string `json:"spec_hash"`
+	// Steps is the horizon of each replication.
+	Steps int `json:"steps"`
+	// Replications is the number of independent runs averaged.
+	Replications int `json:"replications"`
+	// BestQuality is η_1, the benchmark for regret.
+	BestQuality float64 `json:"best_quality"`
+	// AverageGroupReward is the mean over replications of the
+	// time-averaged group reward.
+	AverageGroupReward float64 `json:"average_group_reward"`
+	// Regret is the mean per-replication average regret.
+	Regret float64 `json:"regret"`
+	// RegretStdDev is the sample standard deviation of the
+	// per-replication regrets (0 when Replications == 1).
+	RegretStdDev float64 `json:"regret_stddev"`
+	// Popularity is the final popularity vector, averaged elementwise
+	// across replications.
+	Popularity []float64 `json:"popularity"`
+}
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Job is one scheduled simulation.
+type Job struct {
+	id   string
+	spec Spec
+	hash string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   JobStatus
+	report   *Report
+	trace    *trace.Recorder
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// SpecHash returns the canonical hash of the job's spec.
+func (j *Job) SpecHash() string { return j.hash }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Report returns the result (nil until the job is done).
+func (j *Job) Report() *Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Trace returns the recorded trajectory (nil unless the spec asked for
+// one and the job is done).
+func (j *Job) Trace() *trace.Recorder {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// Err returns the terminal error (nil unless the job failed or was
+// canceled).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Times returns the lifecycle timestamps; started and finished are
+// zero until the corresponding transition happened.
+func (j *Job) Times() (created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started, j.finished
+}
+
+// Cancel asks the job to stop; queued jobs are dropped when their
+// worker reaches them, running jobs stop at the next context check.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// finish records the terminal state exactly once.
+func (j *Job) finish(status JobStatus, report *Report, rec *trace.Recorder, err error) {
+	j.mu.Lock()
+	j.status = status
+	j.report = report
+	j.trace = rec
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// SchedulerConfig sizes the worker pool.
+type SchedulerConfig struct {
+	// Workers is the number of shards; each shard owns one worker
+	// goroutine and one FIFO queue. Jobs are sharded by spec hash, so
+	// identical specs serialize on one shard in submission order.
+	Workers int
+	// QueueDepth bounds each shard's backlog of not-yet-running jobs;
+	// a full queue rejects submissions with ErrOverloaded.
+	QueueDepth int
+	// RetainJobs bounds how many finished jobs stay queryable before
+	// the oldest are evicted (default 1024).
+	RetainJobs int
+}
+
+// SchedulerStats is a point-in-time snapshot for /statsz.
+type SchedulerStats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Canceled   uint64 `json:"canceled"`
+}
+
+// Scheduler is a bounded sharded worker pool executing simulation
+// jobs.
+type Scheduler struct {
+	cfg    SchedulerConfig
+	shards []chan *Job
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	doneQ  []string // finished job ids, oldest first, for retention
+
+	wg        sync.WaitGroup
+	nextID    atomic.Uint64
+	running   atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+}
+
+// NewScheduler validates the config and starts the workers.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("%w: workers=%d", ErrBadSpec, cfg.Workers)
+	}
+	if cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("%w: queue depth=%d", ErrBadSpec, cfg.QueueDepth)
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.RetainJobs < 0 {
+		return nil, fmt.Errorf("%w: retain jobs=%d", ErrBadSpec, cfg.RetainJobs)
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		shards: make([]chan *Job, cfg.Workers),
+		jobs:   make(map[string]*Job),
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan *Job, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s, nil
+}
+
+// shardFor maps a spec hash (hex) onto a shard index.
+func (s *Scheduler) shardFor(hash string) int {
+	var b [8]byte
+	raw, err := hex.DecodeString(hash[:min(16, len(hash))])
+	if err != nil || len(raw) == 0 {
+		return 0
+	}
+	copy(b[8-len(raw):], raw)
+	return int(binary.BigEndian.Uint64(b[:]) % uint64(len(s.shards)))
+}
+
+// Submit validates spec, assigns it a job id, and enqueues it on its
+// hash shard. It returns ErrOverloaded without blocking when the shard
+// backlog is full, and ErrClosed after Close.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	return s.SubmitValidated(spec, hash)
+}
+
+// SubmitValidated enqueues a spec the caller has already run through
+// Validate and Hash (the HTTP layer does both while decoding), so the
+// hot serving path does not validate — and in particular does not
+// build a throwaway core.Group — twice per request.
+func (s *Scheduler) SubmitValidated(spec Spec, hash string) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		id:      fmt.Sprintf("j%08d-%s", s.nextID.Add(1), hash[:8]),
+		spec:    spec,
+		hash:    hash,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  JobQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	s.jobs[job.id] = job
+	// Enqueue while holding the lock so Close cannot close the shard
+	// channel between the closed-flag check and the send.
+	select {
+	case s.shards[s.shardFor(hash)] <- job:
+		s.mu.Unlock()
+		return job, nil
+	default:
+		delete(s.jobs, job.id)
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrOverloaded
+	}
+}
+
+// Job looks up a job by id.
+func (s *Scheduler) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
+// Stats snapshots the pool state.
+func (s *Scheduler) Stats() SchedulerStats {
+	queued := 0
+	for _, sh := range s.shards {
+		queued += len(sh)
+	}
+	return SchedulerStats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Queued:     queued,
+		Running:    int(s.running.Load()),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+	}
+}
+
+// Close stops admissions and drains: every already-queued job still
+// runs to completion before Close returns.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker(queue chan *Job) {
+	defer s.wg.Done()
+	for job := range queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Scheduler) runJob(job *Job) {
+	if job.ctx.Err() != nil {
+		s.canceled.Add(1)
+		job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
+		s.retire(job)
+		return
+	}
+	job.mu.Lock()
+	job.status = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.running.Add(1)
+	report, rec, err := runSpec(job.ctx, &job.spec, job.hash)
+	s.running.Add(-1)
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		job.finish(JobDone, report, rec, nil)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		job.finish(JobCanceled, nil, nil, err)
+	default:
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, nil, err)
+	}
+	s.retire(job)
+}
+
+// retire enforces the finished-job retention bound.
+func (s *Scheduler) retire(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneQ = append(s.doneQ, job.id)
+	for len(s.doneQ) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneQ[0])
+		s.doneQ = s.doneQ[1:]
+	}
+}
+
+// runSpec executes every replication of spec, checking ctx between
+// steps. Replication r seeds with experiment.SeedFor(spec.Seed, r), so
+// replication 0 reproduces core.New(coreConfig(spec.Seed)).Run(Steps)
+// step for step, and the whole job is deterministic in the spec alone.
+func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Recorder, error) {
+	var regrets stats.Summary
+	var rewardMean, bestQ float64
+	var popSum []float64
+	var rec *trace.Recorder
+	for rep := 0; rep < spec.Replications; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		g, err := spec.newGroup(experiment.SeedFor(spec.Seed, rep))
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: replication %d: %w", rep, err)
+		}
+		var repRec *trace.Recorder
+		var row []float64
+		if rep == 0 && spec.TraceEvery > 0 {
+			m := len(g.Popularity())
+			cols := append([]string{"t", "group_reward"}, trace.VectorColumns("q", m)...)
+			repRec, err = trace.NewRecorder(spec.TraceEvery, cols...)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = make([]float64, 2+m)
+		}
+		avg, err := runGroup(ctx, g, spec.Steps, repRec, row)
+		if err != nil {
+			return nil, nil, err
+		}
+		bestQ = g.BestQuality()
+		regrets.Add(bestQ - avg)
+		rewardMean += (avg - rewardMean) / float64(rep+1)
+		pop := g.Popularity()
+		if popSum == nil {
+			popSum = make([]float64, len(pop))
+		}
+		for j := range pop {
+			popSum[j] += pop[j]
+		}
+		if repRec != nil {
+			rec = repRec
+		}
+	}
+	for j := range popSum {
+		popSum[j] /= float64(spec.Replications)
+	}
+	report := &Report{
+		SpecHash:           hash,
+		Steps:              spec.Steps,
+		Replications:       spec.Replications,
+		BestQuality:        bestQ,
+		AverageGroupReward: rewardMean,
+		Regret:             regrets.Mean(),
+		RegretStdDev:       regrets.StdDev(),
+		Popularity:         popSum,
+	}
+	return report, rec, nil
+}
+
+// runGroup steps g for steps steps, accumulating the time-averaged
+// group reward exactly the way population.Run does, recording into rec
+// when non-nil, and honoring ctx every ctxCheckEvery steps.
+func runGroup(ctx context.Context, g *core.Group, steps int, rec *trace.Recorder, row []float64) (float64, error) {
+	var cum float64
+	for t := 1; t <= steps; t++ {
+		if t%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		if err := g.Step(); err != nil {
+			return 0, fmt.Errorf("service: step %d: %w", t, err)
+		}
+		reward := g.GroupReward()
+		cum += reward
+		if rec != nil {
+			row[0] = float64(t)
+			row[1] = reward
+			copy(row[2:], g.Popularity())
+			if err := rec.Record(row...); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return cum / float64(steps), nil
+}

@@ -1,0 +1,383 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newTestScheduler(t *testing.T, cfg SchedulerConfig) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewScheduler(SchedulerConfig{Workers: 0, QueueDepth: 1}); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := NewScheduler(SchedulerConfig{Workers: 1, QueueDepth: 0}); err == nil {
+		t.Error("queue depth=0 accepted")
+	}
+	if _, err := NewScheduler(SchedulerConfig{Workers: 1, QueueDepth: 1, RetainJobs: -1}); err == nil {
+		t.Error("retain=-1 accepted")
+	}
+}
+
+// TestSchedulerMatchesDirectRun is the core serving guarantee: a job
+// with Replications=1 reproduces core.New(...).Run(...) with the same
+// seed bit for bit.
+func TestSchedulerMatchesDirectRun(t *testing.T) {
+	t.Parallel()
+
+	spec := Spec{
+		N:         10_000,
+		Qualities: []float64{0.9, 0.5, 0.5},
+		Beta:      0.7,
+		Steps:     500,
+		Seed:      123,
+	}
+	s := newTestScheduler(t, SchedulerConfig{Workers: 2, QueueDepth: 4})
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status() != JobDone {
+		t.Fatalf("status %s, err %v", job.Status(), job.Err())
+	}
+	got := job.Report()
+
+	g, err := core.New(core.Config{
+		N: 10_000, Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7, Seed: 123,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regret != want.Regret {
+		t.Errorf("Regret %v, want %v", got.Regret, want.Regret)
+	}
+	if got.AverageGroupReward != want.AverageGroupReward {
+		t.Errorf("AverageGroupReward %v, want %v", got.AverageGroupReward, want.AverageGroupReward)
+	}
+	if len(got.Popularity) != len(want.Popularity) {
+		t.Fatalf("popularity lengths differ: %d vs %d", len(got.Popularity), len(want.Popularity))
+	}
+	for j := range want.Popularity {
+		if got.Popularity[j] != want.Popularity[j] {
+			t.Errorf("Popularity[%d] = %v, want %v", j, got.Popularity[j], want.Popularity[j])
+		}
+	}
+	if got.RegretStdDev != 0 {
+		t.Errorf("RegretStdDev = %v with one replication", got.RegretStdDev)
+	}
+	if got.BestQuality != 0.9 {
+		t.Errorf("BestQuality = %v", got.BestQuality)
+	}
+}
+
+// TestSchedulerReplications checks multi-replication averaging
+// tightens the estimate and fills the spread field.
+func TestSchedulerReplications(t *testing.T) {
+	t.Parallel()
+
+	spec := Spec{
+		N:            2_000,
+		Qualities:    []float64{0.8, 0.4},
+		Beta:         0.65,
+		Steps:        300,
+		Replications: 8,
+		Seed:         7,
+	}
+	s := newTestScheduler(t, SchedulerConfig{Workers: 2, QueueDepth: 4})
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := job.Report()
+	if rep == nil || rep.Replications != 8 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.RegretStdDev <= 0 {
+		t.Errorf("RegretStdDev = %v, want > 0 across independent seeds", rep.RegretStdDev)
+	}
+	sum := 0.0
+	for _, p := range rep.Popularity {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mean popularity sums to %v", sum)
+	}
+	if math.Abs(rep.BestQuality-rep.Regret-rep.AverageGroupReward) > 1e-12 {
+		t.Errorf("identity broken: η1=%v regret=%v reward=%v",
+			rep.BestQuality, rep.Regret, rep.AverageGroupReward)
+	}
+}
+
+// TestSchedulerAdmissionControl fills one shard's queue with identical
+// specs (same hash → same shard) and checks the explicit overload
+// error.
+func TestSchedulerAdmissionControl(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 1, QueueDepth: 2})
+	// A slow job to hold the worker (canceled before it finishes).
+	slow := validSpec()
+	slow.Steps = 40_000_000
+	blocker, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Cancel()
+	// Wait for it to leave the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for blocker.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue behind it.
+	for i := 0; i < 2; i++ {
+		spec := validSpec()
+		spec.Seed = uint64(100 + i)
+		if _, err := s.Submit(spec); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	spec := validSpec()
+	spec.Seed = 999
+	if _, err := s.Submit(spec); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit over capacity = %v, want ErrOverloaded", err)
+	}
+	if got := s.Stats().Queued; got != 2 {
+		t.Errorf("Queued = %d, want 2", got)
+	}
+	blocker.Cancel()
+}
+
+// TestSchedulerCancellation cancels a long-running job and checks it
+// stops promptly with the canceled state.
+func TestSchedulerCancellation(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 1, QueueDepth: 2})
+	spec := validSpec()
+	spec.Steps = 40_000_000 // far more work than the test allows time for
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for job.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	job.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := job.Wait(ctx); err != nil {
+		t.Fatalf("job did not stop after cancel: %v", err)
+	}
+	if job.Status() != JobCanceled {
+		t.Errorf("status %s, want canceled", job.Status())
+	}
+	if !errors.Is(job.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", job.Err())
+	}
+	if job.Report() != nil {
+		t.Error("canceled job has a report")
+	}
+	if got := s.Stats().Canceled; got != 1 {
+		t.Errorf("Canceled = %d, want 1", got)
+	}
+}
+
+// TestSchedulerCancelQueued cancels a job before its worker reaches it.
+func TestSchedulerCancelQueued(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 1, QueueDepth: 4})
+	slow := validSpec()
+	slow.Steps = 40_000_000
+	blocker, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for blocker.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := s.Submit(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	blocker.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := queued.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if queued.Status() != JobCanceled {
+		t.Errorf("status %s, want canceled", queued.Status())
+	}
+}
+
+// TestSchedulerCloseDrains submits a batch, closes, and checks every
+// job reached a terminal state (drained, not dropped).
+func TestSchedulerCloseDrains(t *testing.T) {
+	t.Parallel()
+
+	s, err := NewScheduler(SchedulerConfig{Workers: 4, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 10; i++ {
+		spec := validSpec()
+		spec.Seed = uint64(i)
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	s.Close()
+	for i, job := range jobs {
+		select {
+		case <-job.done:
+		default:
+			t.Fatalf("job %d not terminal after Close", i)
+		}
+		if job.Status() != JobDone {
+			t.Errorf("job %d status %s after drain", i, job.Status())
+		}
+	}
+	if _, err := s.Submit(validSpec()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if got := s.Stats().Completed; got != 10 {
+		t.Errorf("Completed = %d, want 10", got)
+	}
+}
+
+// TestSchedulerShardAffinity checks identical hashes map to one shard
+// and the mapping covers multiple shards across distinct hashes.
+func TestSchedulerShardAffinity(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 4, QueueDepth: 1})
+	spec := validSpec()
+	h, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.shardFor(h), s.shardFor(h); a != b {
+		t.Errorf("same hash mapped to shards %d and %d", a, b)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		spec.Seed = uint64(i)
+		h, err := spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := s.shardFor(h)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("shard %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 distinct hashes all landed on %d shard(s)", len(seen))
+	}
+}
+
+// TestSchedulerJobLookupAndRetention checks Job lookup and the
+// finished-job retention bound.
+func TestSchedulerJobLookupAndRetention(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 2, QueueDepth: 8, RetainJobs: 3})
+	// Submit and wait one at a time so finish order equals submit
+	// order and retention is deterministic.
+	var last *Job
+	for i := 0; i < 6; i++ {
+		spec := validSpec()
+		spec.Seed = uint64(i)
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		last = job
+	}
+	if _, err := s.Job(last.ID()); err != nil {
+		t.Errorf("recent job evicted: %v", err)
+	}
+	if _, err := s.Job("j-no-such"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown lookup = %v, want ErrUnknownJob", err)
+	}
+	s.mu.Lock()
+	retained := len(s.doneQ)
+	s.mu.Unlock()
+	if retained > 3 {
+		t.Errorf("retained %d finished jobs, want ≤ 3", retained)
+	}
+}
+
+// TestRunSpecTrace checks the recorded trajectory shape and that its
+// last row matches the report.
+func TestRunSpecTrace(t *testing.T) {
+	t.Parallel()
+
+	spec := validSpec()
+	spec.Steps = 100
+	spec.TraceEvery = 10
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, rec, err := runSpec(context.Background(), &spec, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no trace recorded")
+	}
+	if rec.Len() != 10 {
+		t.Errorf("trace rows = %d, want 10", rec.Len())
+	}
+	lastRow := rec.Row(rec.Len() - 1)
+	if lastRow[0] != 91 { // rows kept at t = 1, 11, ..., 91
+		t.Errorf("last recorded t = %v, want 91", lastRow[0])
+	}
+	if len(lastRow) != 2+len(spec.Qualities) {
+		t.Errorf("row width %d, want %d", len(lastRow), 2+len(spec.Qualities))
+	}
+	if report.SpecHash != hash {
+		t.Errorf("report hash %s, want %s", report.SpecHash, hash)
+	}
+}

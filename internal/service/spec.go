@@ -1,0 +1,234 @@
+// Package service turns the simulation library into a long-running
+// serving subsystem: a JSON Spec that hashes deterministically to a
+// cache key, a bounded sharded scheduler with admission control, an
+// LRU result cache with single-flight deduplication, and net/http
+// handlers (sync, async jobs, NDJSON trace streaming, health and
+// stats). cmd/reprod is the daemon binary wiring it together.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrBadSpec reports an invalid simulation request.
+var ErrBadSpec = errors.New("service: invalid spec")
+
+// Limits protecting the server from abusive specs. Generous enough for
+// every paper-scale workload (N up to millions, horizons up to 10⁷).
+const (
+	// MaxSteps bounds Steps × Replications, the total simulated work
+	// of one request.
+	MaxSteps = 50_000_000
+	// MaxOptions bounds the number of options m.
+	MaxOptions = 10_000
+	// MaxPopulation bounds N (and topology node counts).
+	MaxPopulation = 100_000_000
+	// MaxTraceRows bounds the recorded trajectory length of one job.
+	MaxTraceRows = 1_000_000
+)
+
+// Topology describes an optional deterministic sampling network (the
+// conclusion's graph-restricted extension). Random graph families are
+// excluded on purpose: a Spec must denote one simulation, so its hash
+// can be a cache key.
+type Topology struct {
+	// Kind is one of "complete", "ring", "star", or "torus".
+	Kind string `json:"kind"`
+	// Nodes is the node count for complete/ring/star.
+	Nodes int `json:"nodes,omitempty"`
+	// Rows and Cols give the torus dimensions.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+}
+
+// build constructs the graph.
+func (t *Topology) build() (*graph.Graph, error) {
+	switch t.Kind {
+	case "complete":
+		return graph.Complete(t.Nodes)
+	case "ring":
+		return graph.Ring(t.Nodes)
+	case "star":
+		return graph.Star(t.Nodes)
+	case "torus":
+		return graph.Torus(t.Rows, t.Cols)
+	default:
+		return nil, fmt.Errorf("%w: unknown topology kind %q", ErrBadSpec, t.Kind)
+	}
+}
+
+// Spec is the canonical JSON description of one simulation request.
+// Optional knobs use pointers so "absent" (paper default) and "zero"
+// (the ablation regimes) stay distinguishable; Normalize resolves the
+// defaults so equivalent requests share one canonical form and hence
+// one cache key.
+type Spec struct {
+	// N is the population size; 0 selects the infinite-population
+	// process. Ignored when Topology is set.
+	N int `json:"n"`
+	// Qualities are the option success probabilities η_j.
+	Qualities []float64 `json:"qualities"`
+	// Beta is the adoption probability on a good signal.
+	Beta float64 `json:"beta"`
+	// Alpha is the adoption probability on a bad signal; absent means
+	// the paper's symmetric 1−β.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Mu is the exploration rate; absent means the theorem-maximal
+	// δ²/6 default.
+	Mu *float64 `json:"mu,omitempty"`
+	// Engine is "aggregate" (default) or "agent".
+	Engine string `json:"engine,omitempty"`
+	// Steps is the horizon T.
+	Steps int `json:"steps"`
+	// Replications averages this many independent runs (default 1).
+	// Replication r uses the seed experiment.SeedFor(Seed, r), so
+	// replication 0 reproduces a direct core run with Seed.
+	Replications int `json:"replications,omitempty"`
+	// Seed drives all randomness.
+	Seed uint64 `json:"seed"`
+	// TraceEvery, when positive, records the trajectory of replication
+	// 0 every k steps for the job's /trace stream.
+	TraceEvery int `json:"trace_every,omitempty"`
+	// Topology optionally restricts sampling to a deterministic graph.
+	Topology *Topology `json:"topology,omitempty"`
+}
+
+// Normalize fills defaults in place (engine name, replication count)
+// so that equivalent specs hash identically.
+func (s *Spec) Normalize() {
+	if s.Engine == "" {
+		s.Engine = "aggregate"
+	}
+	if s.Replications == 0 {
+		s.Replications = 1
+	}
+}
+
+// Validate normalizes the spec, checks the serving limits, and
+// round-trips it through core.New so every core-level constraint (β
+// range, quality ranges, α/µ domains, graph validity) is enforced
+// before the job is admitted.
+func (s *Spec) Validate() error {
+	s.Normalize()
+	// Bound each factor before multiplying so the product cannot
+	// overflow past the admission check.
+	if s.Steps <= 0 || s.Steps > MaxSteps {
+		return fmt.Errorf("%w: steps=%d (want 1..%d)", ErrBadSpec, s.Steps, MaxSteps)
+	}
+	if s.Replications < 1 || s.Replications > MaxSteps {
+		return fmt.Errorf("%w: replications=%d", ErrBadSpec, s.Replications)
+	}
+	if total := int64(s.Steps) * int64(s.Replications); total > MaxSteps {
+		return fmt.Errorf("%w: steps×replications=%d exceeds limit %d", ErrBadSpec, total, MaxSteps)
+	}
+	if len(s.Qualities) > MaxOptions {
+		return fmt.Errorf("%w: %d options exceeds limit %d", ErrBadSpec, len(s.Qualities), MaxOptions)
+	}
+	if s.N < 0 || s.N > MaxPopulation {
+		return fmt.Errorf("%w: n=%d", ErrBadSpec, s.N)
+	}
+	if s.TraceEvery < 0 {
+		return fmt.Errorf("%w: trace_every=%d", ErrBadSpec, s.TraceEvery)
+	}
+	if s.TraceEvery > 0 && s.Steps/s.TraceEvery > MaxTraceRows {
+		return fmt.Errorf("%w: trace would record %d rows, limit %d",
+			ErrBadSpec, s.Steps/s.TraceEvery, MaxTraceRows)
+	}
+	if s.Topology != nil {
+		// Per-dimension bounds first: Rows×Cols could overflow before
+		// the size comparison.
+		t := s.Topology
+		if t.Nodes < 0 || t.Nodes > MaxPopulation ||
+			t.Rows < 0 || t.Rows > MaxPopulation ||
+			t.Cols < 0 || t.Cols > MaxPopulation {
+			return fmt.Errorf("%w: topology dimensions %+v out of range", ErrBadSpec, *t)
+		}
+		if size := int64(t.Rows) * int64(t.Cols); t.Kind == "torus" && size > MaxPopulation {
+			return fmt.Errorf("%w: topology size %d exceeds limit %d", ErrBadSpec, size, MaxPopulation)
+		}
+	}
+	switch s.Engine {
+	case "aggregate", "agent":
+	default:
+		return fmt.Errorf("%w: engine %q (want \"aggregate\" or \"agent\")", ErrBadSpec, s.Engine)
+	}
+	if _, err := s.newGroup(s.Seed); err != nil {
+		if errors.Is(err, ErrBadSpec) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+// coreConfig maps the spec onto core.Config with the given seed. The
+// graph for a topology spec is rebuilt per call, so each replication
+// gets an independent group.
+func (s *Spec) coreConfig(seed uint64) core.Config {
+	cfg := core.Config{
+		N:         s.N,
+		Qualities: s.Qualities,
+		Beta:      s.Beta,
+		Seed:      seed,
+	}
+	if s.Alpha != nil {
+		cfg.Alpha = *s.Alpha
+		if *s.Alpha == 0 {
+			cfg.AlphaIsZero = true
+		}
+	}
+	if s.Mu != nil {
+		cfg.Mu = *s.Mu
+		if *s.Mu == 0 {
+			cfg.MuIsZero = true
+		}
+	}
+	if s.Engine == "agent" {
+		cfg.Engine = core.EngineAgent
+	}
+	if s.Topology != nil {
+		if g, err := s.Topology.build(); err == nil {
+			cfg.Network = g
+		}
+	}
+	return cfg
+}
+
+// newGroup builds the validated group for one replication. A topology
+// build failure is reported here rather than silently dropped by
+// coreConfig.
+func (s *Spec) newGroup(seed uint64) (*core.Group, error) {
+	if s.Topology != nil {
+		if _, err := s.Topology.build(); err != nil {
+			return nil, err
+		}
+	}
+	return core.New(s.coreConfig(seed))
+}
+
+// Hash returns the canonical cache key: SHA-256 over the canonical
+// JSON encoding of the normalized spec. encoding/json emits struct
+// fields in declaration order with shortest-round-trip floats, so the
+// encoding — and therefore the key — is deterministic.
+func (s *Spec) Hash() (string, error) {
+	s.Normalize()
+	for _, q := range s.Qualities {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return "", fmt.Errorf("%w: non-finite quality %v", ErrBadSpec, q)
+		}
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("service: hash spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		N:         1000,
+		Qualities: []float64{0.9, 0.5, 0.5},
+		Beta:      0.7,
+		Steps:     200,
+		Seed:      42,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	t.Parallel()
+
+	s := validSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if s.Engine != "aggregate" || s.Replications != 1 {
+		t.Errorf("Normalize left engine=%q replications=%d", s.Engine, s.Replications)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no steps", func(s *Spec) { s.Steps = 0 }},
+		{"negative n", func(s *Spec) { s.N = -1 }},
+		{"negative replications", func(s *Spec) { s.Replications = -2 }},
+		{"work limit", func(s *Spec) { s.Steps = MaxSteps; s.Replications = 2 }},
+		{"steps overflow", func(s *Spec) { s.Steps = int(^uint(0) >> 1); s.Replications = 2 }},
+		{"replications overflow", func(s *Spec) { s.Steps = 2; s.Replications = int(^uint(0) >> 1) }},
+		{"torus overflow", func(s *Spec) {
+			s.Topology = &Topology{Kind: "torus", Rows: MaxPopulation, Cols: MaxPopulation}
+		}},
+		{"bad engine", func(s *Spec) { s.Engine = "warp" }},
+		{"bad beta", func(s *Spec) { s.Beta = 1.5 }},
+		{"bad quality", func(s *Spec) { s.Qualities = []float64{0.9, 1.7} }},
+		{"no qualities", func(s *Spec) { s.Qualities = nil }},
+		{"negative trace", func(s *Spec) { s.TraceEvery = -1 }},
+		{"bad topology kind", func(s *Spec) { s.Topology = &Topology{Kind: "hypercube", Nodes: 8} }},
+		{"bad topology size", func(s *Spec) { s.Topology = &Topology{Kind: "ring", Nodes: 1} }},
+		{"bad mu", func(s *Spec) { mu := 1.5; s.Mu = &mu }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec()
+			c.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("Validate = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestSpecValidateTopologies(t *testing.T) {
+	t.Parallel()
+
+	for _, topo := range []Topology{
+		{Kind: "complete", Nodes: 16},
+		{Kind: "ring", Nodes: 16},
+		{Kind: "star", Nodes: 16},
+		{Kind: "torus", Rows: 4, Cols: 4},
+	} {
+		s := validSpec()
+		s.Topology = &topo
+		if err := s.Validate(); err != nil {
+			t.Errorf("topology %q rejected: %v", topo.Kind, err)
+		}
+	}
+}
+
+// TestSpecHashDeterministicAndCanonical checks that hashing is stable,
+// that normalization makes explicit defaults and absent fields
+// collide, and that meaningful changes separate.
+func TestSpecHashDeterministicAndCanonical(t *testing.T) {
+	t.Parallel()
+
+	a := validSpec()
+	h1, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash %q is not sha256 hex", h1)
+	}
+
+	// Explicit defaults hash like absent ones.
+	b := validSpec()
+	b.Engine = "aggregate"
+	b.Replications = 1
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb != h1 {
+		t.Errorf("normalized spec hashes differ: %s vs %s", hb, h1)
+	}
+
+	// Each meaningful change moves the hash.
+	for name, mutate := range map[string]func(*Spec){
+		"seed":      func(s *Spec) { s.Seed++ },
+		"steps":     func(s *Spec) { s.Steps++ },
+		"n":         func(s *Spec) { s.N++ },
+		"beta":      func(s *Spec) { s.Beta = 0.71 },
+		"qualities": func(s *Spec) { s.Qualities = []float64{0.9, 0.5, 0.51} },
+		"alpha":     func(s *Spec) { alpha := 0.3; s.Alpha = &alpha },
+		"engine":    func(s *Spec) { s.Engine = "agent" },
+		"topology":  func(s *Spec) { s.Topology = &Topology{Kind: "ring", Nodes: 1000} },
+	} {
+		c := validSpec()
+		mutate(&c)
+		hc, err := c.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hc == h1 {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip checks a spec survives encode/decode with its
+// hash intact, so the wire form is the canonical form.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	s := validSpec()
+	alpha := 0.0
+	s.Alpha = &alpha // distinguishable from absent: forces α = 0
+	s.TraceEvery = 10
+	s.Topology = &Topology{Kind: "torus", Rows: 8, Cols: 4}
+	h1, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Alpha == nil || *back.Alpha != 0 {
+		t.Error("alpha pointer lost in round trip")
+	}
+	h2, err := back.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("round-tripped hash %s != %s", h2, h1)
+	}
+}

@@ -1,14 +1,19 @@
 // Package trace records simulation time series (popularity vectors,
 // group rewards, arbitrary named columns) and renders them as CSV for
-// plotting. cmd/sociallearn uses it for its -out flag; experiments can
-// use it to dump full trajectories behind the summary tables.
+// plotting or NDJSON for streaming. cmd/sociallearn uses it for its
+// -out flag; internal/service streams job trajectories with it;
+// experiments can use it to dump full trajectories behind the summary
+// tables.
 package trace
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -109,6 +114,45 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	if err := cw.Error(); err != nil {
 		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// WriteNDJSON renders the recorded series as newline-delimited JSON:
+// one object per row mapping each column name to its value, keys in
+// column order. It handles the same rows and columns as WriteCSV;
+// values JSON cannot represent (NaN, ±Inf) are encoded as null so every
+// line stays valid JSON. The stream is flushed row by row, so it is
+// safe to hand w an http.ResponseWriter.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	keys := make([][]byte, len(r.columns))
+	for i, c := range r.columns {
+		k, err := json.Marshal(c)
+		if err != nil {
+			return fmt.Errorf("trace: column %q: %w", c, err)
+		}
+		keys[i] = k
+	}
+	var buf bytes.Buffer
+	for _, row := range r.rows {
+		buf.Reset()
+		buf.WriteByte('{')
+		for i, v := range row {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(keys[i])
+			buf.WriteByte(':')
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				buf.WriteString("null")
+			} else {
+				buf.Write(strconv.AppendFloat(buf.AvailableBuffer(), v, 'g', -1, 64))
+			}
+		}
+		buf.WriteString("}\n")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("trace: ndjson row: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -100,5 +103,109 @@ func TestWriteCSV(t *testing.T) {
 	want := "t,v\n0,0.5\n1,0.25\n"
 	if b.String() != want {
 		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(1, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"t\":0,\"v\":0.5}\n{\"t\":1,\"v\":0.25}\n"
+	if b.String() != want {
+		t.Errorf("NDJSON = %q, want %q", b.String(), want)
+	}
+}
+
+// TestWriteNDJSONParsesAndMatchesRows decodes every emitted line and
+// checks it round-trips the recorded values, including downsampling.
+func TestWriteNDJSONParsesAndMatchesRows(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(3, "t", "q0", "q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := r.Record(float64(i), float64(i)*0.5, 1/float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	line := 0
+	for sc.Scan() {
+		var obj map[string]float64
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d: %v", line, err)
+		}
+		row := r.Row(line)
+		if obj["t"] != row[0] || obj["q0"] != row[1] || obj["q1"] != row[2] {
+			t.Errorf("line %d: got %v, want %v", line, obj, row)
+		}
+		line++
+	}
+	if line != r.Len() {
+		t.Errorf("emitted %d lines, want %d", line, r.Len())
+	}
+}
+
+// TestWriteNDJSONNonFinite checks NaN and ±Inf become null so every
+// line stays parseable JSON.
+func TestWriteNDJSONNonFinite(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(1, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(math.NaN(), math.Inf(1), 2); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"a\":null,\"b\":null,\"c\":2}\n"
+	if b.String() != want {
+		t.Errorf("NDJSON = %q, want %q", b.String(), want)
+	}
+	var obj map[string]*float64
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &obj); err != nil {
+		t.Fatalf("line does not parse: %v", err)
+	}
+	if obj["a"] != nil || obj["b"] != nil || obj["c"] == nil || *obj["c"] != 2 {
+		t.Errorf("parsed %v", obj)
+	}
+}
+
+func TestWriteNDJSONEmpty(t *testing.T) {
+	t.Parallel()
+
+	r, err := NewRecorder(1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("NDJSON of empty recorder = %q, want empty", b.String())
 	}
 }
