@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		queue    = fs.Int("queue", 64, "queued jobs per shard before admission control sheds load")
 		cache    = fs.Int("cache", 1024, "cached reports (0 disables storage, keeps single-flight)")
 		retain   = fs.Int("retain", 1024, "finished jobs kept queryable")
+		jobTime  = fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock limit once running (0 disables)")
 		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		Workers:    *workers,
 		QueueDepth: *queue,
 		RetainJobs: *retain,
+		JobTimeout: *jobTime,
 	})
 	if err != nil {
 		return err
@@ -80,7 +82,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	logger.Printf("serving on %s (workers=%d queue=%d cache=%d)", ln.Addr(), *workers, *queue, *cache)
+	logger.Printf("serving on %s (workers=%d queue=%d cache=%d job-timeout=%s)",
+		ln.Addr(), *workers, *queue, *cache, *jobTime)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

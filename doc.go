@@ -11,10 +11,13 @@
 // benchmarks for internal/service.
 //
 // The serving layer lives in internal/service: a JSON Spec that
-// validates through core.Config and hashes deterministically to a
-// cache key, a bounded sharded job scheduler with admission control
-// and per-job cancellation, an LRU result cache with single-flight
-// deduplication, and net/http handlers (synchronous POST /v1/simulate,
+// validates through core.Config.Validate — arithmetically, with
+// per-request work and topology-edge bounds, never materializing a
+// group or graph — and hashes deterministically to a cache key, a
+// bounded sharded job scheduler with admission control, per-job
+// cancellation, and a server-side job timeout, an LRU result cache
+// with single-flight deduplication, and net/http handlers
+// (synchronous POST /v1/simulate,
 // asynchronous POST /v1/jobs + GET /v1/jobs/{id}, NDJSON trace
 // streaming, /healthz, /statsz). cmd/reprod is the daemon binary:
 //

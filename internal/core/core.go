@@ -112,25 +112,21 @@ type Report struct {
 	Popularity []float64
 }
 
-// New validates the config and constructs the group.
-func New(c Config) (*Group, error) {
+// resolve computes the effective environment, adoption rule, and
+// exploration rate, applying the paper defaults (α = 1−β, µ = δ²/6)
+// and validating each. It allocates only O(m) — never per-agent or
+// per-edge state — so it is safe on a request-validation path.
+func (c Config) resolve() (env.Environment, agent.Linear, float64, error) {
 	environ := c.Environment
 	if environ == nil {
 		var err error
 		environ, err = env.NewIIDBernoulli(c.Qualities)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return nil, agent.Linear{}, 0, fmt.Errorf("core: %w", err)
 		}
 	}
-	qualities := environ.Qualities()
-	if len(qualities) == 0 {
-		return nil, fmt.Errorf("%w: environment reports no options", ErrBadConfig)
-	}
-	eta1 := 0.0
-	for _, q := range qualities {
-		if q > eta1 {
-			eta1 = q
-		}
+	if environ.Options() <= 0 {
+		return nil, agent.Linear{}, 0, fmt.Errorf("%w: environment reports no options", ErrBadConfig)
 	}
 
 	alpha := c.Alpha
@@ -139,7 +135,7 @@ func New(c Config) (*Group, error) {
 	}
 	rule, err := agent.NewLinear(alpha, c.Beta)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, agent.Linear{}, 0, fmt.Errorf("core: %w", err)
 	}
 
 	mu := c.Mu
@@ -147,18 +143,62 @@ func New(c Config) (*Group, error) {
 		if c.Beta > 0.5 && c.Beta < 1 {
 			delta, err := regret.Delta(c.Beta)
 			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
+				return nil, agent.Linear{}, 0, fmt.Errorf("core: %w", err)
 			}
 			mu, err = regret.MaxMu(delta)
 			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
+				return nil, agent.Linear{}, 0, fmt.Errorf("core: %w", err)
 			}
 		} else {
 			mu = 0.05
 		}
 	}
 	if math.IsNaN(mu) || mu < 0 || mu > 1 {
-		return nil, fmt.Errorf("%w: mu=%v", ErrBadConfig, mu)
+		return nil, agent.Linear{}, 0, fmt.Errorf("%w: mu=%v", ErrBadConfig, mu)
+	}
+	return environ, rule, mu, nil
+}
+
+// Validate checks every constraint New enforces without materializing
+// engine state: New allocates O(N) per-agent state (agent engine) or
+// O(nodes + edges) network state, while Validate costs O(m). Validate
+// returning nil means New succeeds on the same config.
+func (c Config) Validate() error {
+	_, _, _, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	if c.Network != nil {
+		if c.Network.N() == 0 {
+			return fmt.Errorf("%w: empty network", ErrBadConfig)
+		}
+		return nil
+	}
+	if c.N == 0 {
+		return nil
+	}
+	if c.N < 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadConfig, c.N)
+	}
+	switch c.Engine {
+	case EngineAggregate, EngineAgent:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown engine %d", ErrBadConfig, c.Engine)
+	}
+}
+
+// New validates the config and constructs the group.
+func New(c Config) (*Group, error) {
+	environ, rule, mu, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	eta1 := 0.0
+	for _, q := range environ.Qualities() {
+		if q > eta1 {
+			eta1 = q
+		}
 	}
 
 	g := &Group{environ: environ, eta1: eta1, rule: rule, mu: mu}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/env"
+	"repro/internal/graph"
 	"repro/internal/stats"
 )
 
@@ -222,4 +223,58 @@ func TestRegretWithinBound(t *testing.T) {
 	if regrets.Mean() > b.FiniteRegret {
 		t.Errorf("mean regret %v exceeds Theorem 4.4 bound %v", regrets.Mean(), b.FiniteRegret)
 	}
+}
+
+// TestConfigValidateMatchesNew checks the contract that Validate
+// accepts exactly the configs New accepts — Validate is the cheap,
+// non-materializing form used on request-validation paths.
+func TestConfigValidateMatchesNew(t *testing.T) {
+	t.Parallel()
+
+	ring, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"finite aggregate", Config{N: 100, Qualities: []float64{0.9, 0.5}, Beta: 0.7}},
+		{"finite agent", Config{N: 100, Qualities: []float64{0.9, 0.5}, Beta: 0.7, Engine: EngineAgent}},
+		{"infinite", Config{Qualities: []float64{0.9, 0.5}, Beta: 0.7}},
+		{"network", Config{Qualities: []float64{0.9, 0.5}, Beta: 0.7, Network: ring}},
+		{"forced zeros", Config{N: 10, Qualities: []float64{0.9, 0.5}, Beta: 0.7, AlphaIsZero: true, MuIsZero: true}},
+		{"custom environment", Config{N: 10, Beta: 0.7, Environment: mustEnv(t, []float64{0.8, 0.2})}},
+		{"empty", Config{}},
+		{"bad beta", Config{N: 10, Qualities: []float64{0.9, 0.5}, Beta: 1.5}},
+		{"bad quality", Config{N: 10, Qualities: []float64{0.9, 1.7}, Beta: 0.7}},
+		{"bad mu", Config{N: 10, Qualities: []float64{0.9, 0.5}, Beta: 0.7, Mu: 2}},
+		{"negative n", Config{N: -1, Qualities: []float64{0.9, 0.5}, Beta: 0.7}},
+		{"bad engine", Config{N: 10, Qualities: []float64{0.9, 0.5}, Beta: 0.7, Engine: EngineKind(99)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errV := c.cfg.Validate()
+			_, errN := New(c.cfg)
+			if (errV == nil) != (errN == nil) {
+				t.Errorf("Validate = %v but New = %v; they must agree", errV, errN)
+			}
+			if errV != nil && !errors.Is(errV, ErrBadConfig) {
+				// Both wrapped substrate errors and ErrBadConfig are
+				// fine; just require a non-silent rejection.
+				if errV.Error() == "" {
+					t.Error("empty validation error")
+				}
+			}
+		})
+	}
+}
+
+func mustEnv(t *testing.T, qualities []float64) env.Environment {
+	t.Helper()
+	e, err := env.NewIIDBernoulli(qualities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }

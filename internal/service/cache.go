@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -83,29 +84,49 @@ func (c *Cache) Get(key string) (*Report, bool) {
 // (stored hit or deduplicated join). compute runs in its own
 // goroutine, so an expired ctx abandons only this caller's wait — the
 // computation still completes and populates the cache for others.
+//
+// A deduplicated follower does not inherit the leader's ErrOverloaded:
+// that error is decided at submit time, before any job runs, so the
+// queue may have drained by the time the follower observes it. The
+// follower retries Do once (re-checking the cache, joining a newer
+// flight, or leading its own) instead of amplifying one momentary
+// rejection across every concurrent identical request.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, error)) (report *Report, cached bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
+	retried := false
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return el.Value.(*cacheEntry).report, true, nil
+		}
+		f, inFlight := c.flights[key]
+		if inFlight {
+			c.waits++
+		} else {
+			f = &flight{done: make(chan struct{})}
+			c.flights[key] = f
+			c.misses++
+			go c.lead(key, f, compute)
+		}
 		c.mu.Unlock()
-		return el.Value.(*cacheEntry).report, true, nil
-	}
-	f, inFlight := c.flights[key]
-	if inFlight {
-		c.waits++
-	} else {
-		f = &flight{done: make(chan struct{})}
-		c.flights[key] = f
-		c.misses++
-		go c.lead(key, f, compute)
-	}
-	c.mu.Unlock()
-	select {
-	case <-f.done:
-		return f.report, inFlight, f.err
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
+		select {
+		case <-f.done:
+			if inFlight && !retried && errors.Is(f.err, ErrOverloaded) {
+				retried = true
+				// Un-count the abandoned join so the retry attempt
+				// re-classifies this call (hit, wait, or miss) instead
+				// of counting it twice in the hit-rate denominator.
+				c.mu.Lock()
+				c.waits--
+				c.mu.Unlock()
+				continue
+			}
+			return f.report, inFlight, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 }
 

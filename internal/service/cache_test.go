@@ -227,3 +227,67 @@ func TestCacheWaiterContext(t *testing.T) {
 		t.Error("abandoned computation did not populate the cache")
 	}
 }
+
+// TestCacheFollowerRetriesOverload checks that a deduplicated follower
+// does not inherit the leader's submit-time ErrOverloaded: the queue
+// may have drained by the time the follower observes the failure, so
+// it retries Do once and runs the computation itself.
+func TestCacheFollowerRetriesOverload(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	compute := func() (*Report, error) {
+		if calls.Add(1) == 1 {
+			<-release // hold the flight open until the follower joined
+			return nil, ErrOverloaded
+		}
+		return &Report{SpecHash: "k"}, nil
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", compute)
+		leaderErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Misses == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	type result struct {
+		report *Report
+		cached bool
+		err    error
+	}
+	followerRes := make(chan result, 1)
+	go func() {
+		report, cached, err := c.Do(context.Background(), "k", compute)
+		followerRes <- result{report, cached, err}
+	}()
+	for c.Stats().Waits == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, ErrOverloaded) {
+		t.Errorf("leader error = %v, want ErrOverloaded", err)
+	}
+	res := <-followerRes
+	if res.err != nil || res.report == nil || res.report.SpecHash != "k" {
+		t.Fatalf("follower retry: report=%v cached=%v err=%v", res.report, res.cached, res.err)
+	}
+	if res.cached {
+		t.Error("follower led the retry flight; cached should be false")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("compute ran %d times, want 2 (failed leader + follower retry)", got)
+	}
+	// The follower's abandoned join is re-classified, not double
+	// counted: two calls, two misses, no residual wait in the hit rate.
+	if st := c.Stats(); st.Waits != 0 || st.Misses != 2 {
+		t.Errorf("stats after retry: waits=%d misses=%d, want 0 and 2", st.Waits, st.Misses)
+	}
+}

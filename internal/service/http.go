@@ -126,6 +126,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrJobTimeout):
+		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client went away; status code is moot but keep the log shape.
 		writeError(w, http.StatusServiceUnavailable, err)

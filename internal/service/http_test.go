@@ -455,3 +455,29 @@ func TestSimulateBodyLimit(t *testing.T) {
 		t.Errorf("oversized body status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestSimulateJobTimeoutResponds504 checks the review scenario where a
+// heavy-but-admitted synchronous job could pin a shard worker forever:
+// with a server-side JobTimeout the request comes back 504 and the
+// worker is free to serve the next job.
+func TestSimulateJobTimeoutResponds504(t *testing.T) {
+	t.Parallel()
+
+	ts, _, _ := testServer(t, SchedulerConfig{
+		Workers: 1, QueueDepth: 4, JobTimeout: 10 * time.Millisecond,
+	}, 4)
+
+	heavy := fmt.Sprintf(
+		`{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": %d, "seed": 9}`,
+		MaxSteps)
+	resp, raw := postJSON(t, ts.URL+"/v1/simulate", heavy)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, raw)
+	}
+
+	// The shard worker must be free again: a small job completes.
+	resp, raw = postJSON(t, ts.URL+"/v1/simulate", acceptanceSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-timeout status = %d (%s), want 200", resp.StatusCode, raw)
+	}
+}

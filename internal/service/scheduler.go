@@ -24,6 +24,12 @@ var (
 	ErrClosed = errors.New("service: scheduler closed")
 	// ErrUnknownJob reports a lookup of an unknown or evicted job.
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobTimeout reports a job canceled by the scheduler's
+	// JobTimeout. Work admitted within the MaxWork budget can still be
+	// slow on a loaded machine; the timeout bounds wall-clock time so
+	// no job — in particular an uncancelable synchronous single-flight
+	// leader — can occupy a shard worker until process restart.
+	ErrJobTimeout = errors.New("service: job exceeded server time limit")
 )
 
 // ctxCheckEvery is how many simulation steps run between context
@@ -171,6 +177,11 @@ type SchedulerConfig struct {
 	// RetainJobs bounds how many finished jobs stay queryable before
 	// the oldest are evicted (default 1024).
 	RetainJobs int
+	// JobTimeout, when positive, bounds each job's running time: the
+	// job context gets this deadline when a worker picks the job up,
+	// and a job that hits it finishes as JobFailed with ErrJobTimeout.
+	// Zero means no server-side time limit.
+	JobTimeout time.Duration
 }
 
 // SchedulerStats is a point-in-time snapshot for /statsz.
@@ -216,6 +227,9 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	}
 	if cfg.RetainJobs < 0 {
 		return nil, fmt.Errorf("%w: retain jobs=%d", ErrBadSpec, cfg.RetainJobs)
+	}
+	if cfg.JobTimeout < 0 {
+		return nil, fmt.Errorf("%w: job timeout=%s", ErrBadSpec, cfg.JobTimeout)
 	}
 	s := &Scheduler{
 		cfg:    cfg,
@@ -355,9 +369,23 @@ func (s *Scheduler) runJob(job *Job) {
 	job.status = JobRunning
 	job.started = time.Now()
 	job.mu.Unlock()
+	// The timeout clock starts when the job starts running, not when it
+	// was queued, so a deep backlog cannot expire jobs before they run.
+	ctx := job.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(job.ctx, s.cfg.JobTimeout, ErrJobTimeout)
+		defer cancel()
+	}
 	s.running.Add(1)
-	report, rec, err := runSpec(job.ctx, &job.spec, job.hash)
+	report, rec, err := runSpec(ctx, &job.spec, job.hash)
 	s.running.Add(-1)
+	// Rewrite only deadline errors whose cause is the timeout this
+	// function installed: a deadline arriving via job.ctx from some
+	// other source must not be misreported as the server limit.
+	if errors.Is(err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), ErrJobTimeout) {
+		err = fmt.Errorf("%w (%s)", ErrJobTimeout, s.cfg.JobTimeout)
+	}
 	switch {
 	case err == nil:
 		s.completed.Add(1)

@@ -381,3 +381,50 @@ func TestRunSpecTrace(t *testing.T) {
 		t.Errorf("report hash %s, want %s", report.SpecHash, hash)
 	}
 }
+
+// TestSchedulerJobTimeout checks that a running job is canceled by the
+// server-side JobTimeout and surfaces as JobFailed with ErrJobTimeout,
+// so no single admitted job can occupy a shard worker indefinitely.
+func TestSchedulerJobTimeout(t *testing.T) {
+	t.Parallel()
+
+	sched, err := NewScheduler(SchedulerConfig{
+		Workers: 1, QueueDepth: 4, JobTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+
+	spec := validSpec()
+	spec.Steps = MaxSteps // minutes of work, far beyond the 10ms budget
+	job, err := sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := job.Wait(ctx); err != nil {
+		t.Fatalf("job did not finish after timeout: %v", err)
+	}
+	if job.Status() != JobFailed {
+		t.Errorf("status = %s, want %s", job.Status(), JobFailed)
+	}
+	if err := job.Err(); !errors.Is(err, ErrJobTimeout) {
+		t.Errorf("job error = %v, want ErrJobTimeout", err)
+	}
+	if st := sched.Stats(); st.Failed != 1 {
+		t.Errorf("failed count = %d, want 1", st.Failed)
+	}
+}
+
+// TestNewSchedulerRejectsNegativeTimeout covers the config check.
+func TestNewSchedulerRejectsNegativeTimeout(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewScheduler(SchedulerConfig{
+		Workers: 1, QueueDepth: 1, JobTimeout: -time.Second,
+	}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("negative JobTimeout accepted: %v", err)
+	}
+}

@@ -22,15 +22,39 @@ import (
 var ErrBadSpec = errors.New("service: invalid spec")
 
 // Limits protecting the server from abusive specs. Generous enough for
-// every paper-scale workload (N up to millions, horizons up to 10⁷).
+// every paper-scale workload (aggregate-engine N up to 10⁸, horizons up
+// to 10⁷); they exist to bound the memory and CPU one request can pin.
 const (
-	// MaxSteps bounds Steps × Replications, the total simulated work
-	// of one request.
+	// MaxSteps bounds Steps × Replications, the simulated horizon of
+	// one request.
 	MaxSteps = 50_000_000
 	// MaxOptions bounds the number of options m.
 	MaxOptions = 10_000
-	// MaxPopulation bounds N (and topology node counts).
+	// MaxPopulation bounds N for the aggregate engine, which keeps
+	// O(m) state regardless of N, so this can stay paper-generous.
 	MaxPopulation = 100_000_000
+	// MaxAgentPopulation bounds N for the agent engine, whose state is
+	// O(N) (per-agent rule and held option, ~24 B each): 10⁶ agents is
+	// ~25 MB per running job, where MaxPopulation would be gigabytes.
+	// The agent engine exists for small-N studies; large-N requests
+	// belong on the aggregate engine.
+	MaxAgentPopulation = 1_000_000
+	// MaxTopologyEdges bounds a topology's edge count, computed
+	// arithmetically before any graph is built. Graph memory is
+	// O(nodes + edges) and every supported kind is connected
+	// (edges ≥ nodes−1), so this single bound caps both dimensions —
+	// in particular a complete graph is held to ~√(2·MaxTopologyEdges)
+	// ≈ 1400 nodes instead of MaxPopulation.
+	MaxTopologyEdges = 1_000_000
+	// MaxWork bounds the total simulated operations of one request:
+	// Steps × Replications × per-step cost, plus the per-replication
+	// setup (each replication rebuilds its topology graph at
+	// O(edges)). Per-step cost is O(m) for the aggregate engine, O(N)
+	// for the agent engine, and O(nodes) for a topology, so a
+	// horizon-scale limit alone would still admit ~10¹⁵-op
+	// agent-engine jobs; this folds population size into admission
+	// control.
+	MaxWork = 10_000_000_000
 	// MaxTraceRows bounds the recorded trajectory length of one job.
 	MaxTraceRows = 1_000_000
 )
@@ -49,7 +73,8 @@ type Topology struct {
 	Cols int `json:"cols,omitempty"`
 }
 
-// build constructs the graph.
+// build constructs the graph. Callers must size-check with size()
+// first: the generators materialize O(nodes + edges) state.
 func (t *Topology) build() (*graph.Graph, error) {
 	switch t.Kind {
 	case "complete":
@@ -62,6 +87,42 @@ func (t *Topology) build() (*graph.Graph, error) {
 		return graph.Torus(t.Rows, t.Cols)
 	default:
 		return nil, fmt.Errorf("%w: unknown topology kind %q", ErrBadSpec, t.Kind)
+	}
+}
+
+// size returns the node and undirected-edge counts the topology would
+// materialize, computed arithmetically so validation never builds the
+// graph (a complete graph allocates n·(n−1) adjacency entries, which
+// must be bounded before construction, not after). The minimum-size
+// rules mirror the graph generators so rejections stay ErrBadSpec.
+// Callers bound each dimension by MaxPopulation first; the products
+// then fit int64 without overflow.
+func (t *Topology) size() (nodes, edges int64, err error) {
+	n := int64(t.Nodes)
+	switch t.Kind {
+	case "complete":
+		if n < 1 {
+			return 0, 0, fmt.Errorf("%w: complete needs nodes>=1, got %d", ErrBadSpec, n)
+		}
+		return n, n * (n - 1) / 2, nil
+	case "ring":
+		if n < 3 {
+			return 0, 0, fmt.Errorf("%w: ring needs nodes>=3, got %d", ErrBadSpec, n)
+		}
+		return n, n, nil
+	case "star":
+		if n < 2 {
+			return 0, 0, fmt.Errorf("%w: star needs nodes>=2, got %d", ErrBadSpec, n)
+		}
+		return n, n - 1, nil
+	case "torus":
+		if t.Rows < 3 || t.Cols < 3 {
+			return 0, 0, fmt.Errorf("%w: torus needs rows,cols>=3, got %dx%d", ErrBadSpec, t.Rows, t.Cols)
+		}
+		nodes = int64(t.Rows) * int64(t.Cols)
+		return nodes, 2 * nodes, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown topology kind %q", ErrBadSpec, t.Kind)
 	}
 }
 
@@ -112,10 +173,16 @@ func (s *Spec) Normalize() {
 	}
 }
 
-// Validate normalizes the spec, checks the serving limits, and
-// round-trips it through core.New so every core-level constraint (β
-// range, quality ranges, α/µ domains, graph validity) is enforced
-// before the job is admitted.
+// Validate normalizes the spec and checks the serving limits plus
+// every core-level constraint (β range, quality ranges, α/µ domains,
+// topology validity) arithmetically — it never builds a graph or a
+// group, so validation stays O(m) no matter how large a population or
+// topology the request names. Admitted work is bounded two ways:
+// Steps×Replications ≤ MaxSteps, and Steps×Replications×(per-step
+// cost) + Replications×(per-replication setup) ≤ MaxWork, where the
+// per-step cost is m (aggregate engine), N (agent engine), or the
+// node count (topology), and the setup cost is the topology's edge
+// count (the graph is rebuilt for every replication).
 func (s *Spec) Validate() error {
 	s.Normalize()
 	// Bound each factor before multiplying so the product cannot
@@ -126,8 +193,9 @@ func (s *Spec) Validate() error {
 	if s.Replications < 1 || s.Replications > MaxSteps {
 		return fmt.Errorf("%w: replications=%d", ErrBadSpec, s.Replications)
 	}
-	if total := int64(s.Steps) * int64(s.Replications); total > MaxSteps {
-		return fmt.Errorf("%w: steps×replications=%d exceeds limit %d", ErrBadSpec, total, MaxSteps)
+	horizon := int64(s.Steps) * int64(s.Replications)
+	if horizon > MaxSteps {
+		return fmt.Errorf("%w: steps×replications=%d exceeds limit %d", ErrBadSpec, horizon, MaxSteps)
 	}
 	if len(s.Qualities) > MaxOptions {
 		return fmt.Errorf("%w: %d options exceeds limit %d", ErrBadSpec, len(s.Qualities), MaxOptions)
@@ -142,36 +210,65 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("%w: trace would record %d rows, limit %d",
 			ErrBadSpec, s.Steps/s.TraceEvery, MaxTraceRows)
 	}
+	switch s.Engine {
+	case "aggregate", "agent":
+	default:
+		return fmt.Errorf("%w: engine %q (want \"aggregate\" or \"agent\")", ErrBadSpec, s.Engine)
+	}
+	// perStep is the dominant cost of one simulated step; bounded by
+	// MaxPopulation (= 10⁸), so horizon×perStep ≤ 5·10¹⁵ fits int64.
+	// buildCost is per-replication setup work: newGroup rebuilds the
+	// topology graph for every replication at O(edges), which for a
+	// dense (complete) graph dwarfs the O(nodes) step cost.
+	perStep := max(int64(len(s.Qualities)), 1)
+	var buildCost int64
 	if s.Topology != nil {
 		// Per-dimension bounds first: Rows×Cols could overflow before
-		// the size comparison.
+		// the size computation.
 		t := s.Topology
 		if t.Nodes < 0 || t.Nodes > MaxPopulation ||
 			t.Rows < 0 || t.Rows > MaxPopulation ||
 			t.Cols < 0 || t.Cols > MaxPopulation {
 			return fmt.Errorf("%w: topology dimensions %+v out of range", ErrBadSpec, *t)
 		}
-		if size := int64(t.Rows) * int64(t.Cols); t.Kind == "torus" && size > MaxPopulation {
-			return fmt.Errorf("%w: topology size %d exceeds limit %d", ErrBadSpec, size, MaxPopulation)
-		}
-	}
-	switch s.Engine {
-	case "aggregate", "agent":
-	default:
-		return fmt.Errorf("%w: engine %q (want \"aggregate\" or \"agent\")", ErrBadSpec, s.Engine)
-	}
-	if _, err := s.newGroup(s.Seed); err != nil {
-		if errors.Is(err, ErrBadSpec) {
+		nodes, edges, err := t.size()
+		if err != nil {
 			return err
 		}
+		if nodes > MaxPopulation {
+			return fmt.Errorf("%w: topology has %d nodes, limit %d", ErrBadSpec, nodes, MaxPopulation)
+		}
+		if edges > MaxTopologyEdges {
+			return fmt.Errorf("%w: topology %q would materialize %d edges, limit %d",
+				ErrBadSpec, t.Kind, edges, MaxTopologyEdges)
+		}
+		perStep = max(perStep, nodes)
+		buildCost = edges
+	} else if s.Engine == "agent" {
+		// The agent engine materializes O(N) state, not just O(N)
+		// step cost, so it gets a memory bound on top of MaxWork.
+		if s.N > MaxAgentPopulation {
+			return fmt.Errorf("%w: n=%d exceeds agent-engine limit %d (use the aggregate engine for large N)",
+				ErrBadSpec, s.N, MaxAgentPopulation)
+		}
+		perStep = max(perStep, int64(s.N))
+	}
+	// Replications ≤ MaxSteps (5·10⁷) and buildCost ≤ MaxTopologyEdges
+	// (10⁶), so the sum stays well inside int64.
+	if work := horizon*perStep + int64(s.Replications)*buildCost; work > MaxWork {
+		return fmt.Errorf("%w: total work %d (steps×replications×per-step cost %d + per-replication setup) exceeds limit %d",
+			ErrBadSpec, work, perStep, MaxWork)
+	}
+	if err := s.coreConfig(s.Seed).Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
 	return nil
 }
 
 // coreConfig maps the spec onto core.Config with the given seed. The
-// graph for a topology spec is rebuilt per call, so each replication
-// gets an independent group.
+// topology graph is deliberately NOT attached here — Config.Validate
+// on the result must stay allocation-light — so newGroup builds it per
+// replication.
 func (s *Spec) coreConfig(seed uint64) core.Config {
 	cfg := core.Config{
 		N:         s.N,
@@ -194,24 +291,23 @@ func (s *Spec) coreConfig(seed uint64) core.Config {
 	if s.Engine == "agent" {
 		cfg.Engine = core.EngineAgent
 	}
-	if s.Topology != nil {
-		if g, err := s.Topology.build(); err == nil {
-			cfg.Network = g
-		}
-	}
 	return cfg
 }
 
-// newGroup builds the validated group for one replication. A topology
-// build failure is reported here rather than silently dropped by
-// coreConfig.
+// newGroup builds the group for one replication, materializing the
+// topology graph (size-checked by Validate) when the spec names one.
+// The graph is rebuilt per call, so each replication gets an
+// independent group.
 func (s *Spec) newGroup(seed uint64) (*core.Group, error) {
+	cfg := s.coreConfig(seed)
 	if s.Topology != nil {
-		if _, err := s.Topology.build(); err != nil {
+		g, err := s.Topology.build()
+		if err != nil {
 			return nil, err
 		}
+		cfg.Network = g
 	}
-	return core.New(s.coreConfig(seed))
+	return core.New(cfg)
 }
 
 // Hash returns the canonical cache key: SHA-256 over the canonical

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"runtime"
 	"testing"
 )
 
@@ -39,6 +40,46 @@ func TestSpecValidate(t *testing.T) {
 		{"replications overflow", func(s *Spec) { s.Steps = 2; s.Replications = int(^uint(0) >> 1) }},
 		{"torus overflow", func(s *Spec) {
 			s.Topology = &Topology{Kind: "torus", Rows: MaxPopulation, Cols: MaxPopulation}
+		}},
+		{"torus edge limit", func(s *Spec) {
+			s.Topology = &Topology{Kind: "torus", Rows: 1000, Cols: 1000} // 2·10⁶ edges
+		}},
+		{"complete edge limit", func(s *Spec) {
+			s.Topology = &Topology{Kind: "complete", Nodes: 100_000} // ~5·10⁹ edges
+		}},
+		{"ring edge limit", func(s *Spec) {
+			s.Topology = &Topology{Kind: "ring", Nodes: MaxPopulation}
+		}},
+		{"star edge limit", func(s *Spec) {
+			s.Topology = &Topology{Kind: "star", Nodes: MaxPopulation}
+		}},
+		{"agent work limit", func(s *Spec) {
+			s.Engine = "agent"
+			s.N = 1_000_000
+			s.Steps = MaxSteps // 5·10¹³ agent-steps
+		}},
+		{"agent population limit", func(s *Spec) {
+			s.Engine = "agent"
+			s.N = MaxAgentPopulation + 1 // O(N) engine state
+			s.Steps = 1
+		}},
+		{"options work limit", func(s *Spec) {
+			s.Qualities = make([]float64, MaxOptions)
+			for j := range s.Qualities {
+				s.Qualities[j] = 0.5
+			}
+			s.Steps = MaxSteps // 5·10¹¹ option-updates
+		}},
+		{"topology work limit", func(s *Spec) {
+			s.Topology = &Topology{Kind: "ring", Nodes: 1_000_000}
+			s.Steps = MaxSteps // 5·10¹³ node-steps
+		}},
+		{"topology rebuild work limit", func(s *Spec) {
+			// Edge- and step-cost admissible, but 7·10⁶ replications
+			// each rebuild ~10⁶ adjacency entries: ~7·10¹² setup ops.
+			s.Topology = &Topology{Kind: "complete", Nodes: 1414}
+			s.Steps = 1
+			s.Replications = 7_000_000
 		}},
 		{"bad engine", func(s *Spec) { s.Engine = "warp" }},
 		{"bad beta", func(s *Spec) { s.Beta = 1.5 }},
@@ -165,5 +206,51 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if h1 != h2 {
 		t.Errorf("round-tripped hash %s != %s", h2, h1)
+	}
+}
+
+// TestSpecValidateDoesNotMaterialize is the regression test for the
+// quadratic-topology / giant-population validation hazard: Validate on
+// specs naming N = 10⁸ agent populations or 10⁵-node complete graphs
+// must answer arithmetically, without building the group or graph
+// (graph.Complete alone would allocate n·(n−1) adjacency ints — tens
+// of GB). Deliberately not parallel: it meters process allocation.
+func TestSpecValidateDoesNotMaterialize(t *testing.T) {
+	aggregate := validSpec()
+	aggregate.N = MaxPopulation // O(m) engine state: paper-generous N is fine
+
+	agent := validSpec()
+	agent.Engine = "agent"
+	agent.N = MaxAgentPopulation
+	agent.Steps = 10_000 // work = 10¹⁰ = MaxWork exactly: admitted
+
+	rejected := []Spec{}
+	for _, topo := range []Topology{
+		{Kind: "complete", Nodes: 100_000},
+		{Kind: "ring", Nodes: MaxPopulation},
+		{Kind: "torus", Rows: 10_000, Cols: 10_000},
+	} {
+		s := validSpec()
+		s.Topology = &topo
+		rejected = append(rejected, s)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := aggregate.Validate(); err != nil {
+		t.Fatalf("paper-scale aggregate spec rejected: %v", err)
+	}
+	if err := agent.Validate(); err != nil {
+		t.Fatalf("limit-scale agent spec rejected: %v", err)
+	}
+	for i := range rejected {
+		if err := rejected[i].Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("oversized topology %+v: Validate = %v, want ErrBadSpec", rejected[i].Topology, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Errorf("Validate allocated %d bytes; validation must not materialize groups or graphs", delta)
 	}
 }
