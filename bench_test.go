@@ -6,9 +6,17 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/service"
@@ -220,6 +228,164 @@ func BenchmarkE14Protocol(b *testing.B) {
 		}
 	}
 	reportAll(b, res.Metrics, "share/loss=0.00", "share/loss=0.10", "msgs/loss=0.00")
+}
+
+// BenchmarkSweep pins the batched sweep engine's speedup: a 16-variant
+// shared-(qualities, β, µ) sweep submitted as one POST /v1/sweep
+// request versus the same 16 variants submitted as independent
+// POST /v1/simulate calls (each paying its own HTTP round trip,
+// decode, validate/hash, single-flight, and scheduler handshake;
+// coalescing off — the pre-batching behavior) against servers with the
+// same worker budget. The paper's sweep workloads are exactly this
+// shape: many small shared-family runs, where the per-request fixed
+// costs rival the simulation itself and batching amortizes them. Each
+// iteration also asserts the batched per-variant reports are
+// bit-identical to the independent path's for the same seeds.
+func BenchmarkSweep(b *testing.B) {
+	const (
+		workers   = 4
+		nVariants = 16
+	)
+	newServer := func(disableCoalesce bool) *httptest.Server {
+		sched, err := service.NewScheduler(service.SchedulerConfig{
+			Workers:         workers,
+			QueueDepth:      2 * nVariants,
+			SweepWorkers:    workers,
+			DisableCoalesce: disableCoalesce,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Cache storage off (single-flight only): every request
+		// simulates, so the comparison times computation, not caching.
+		cache, err := service.NewCache(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(service.NewServer(sched, cache))
+		b.Cleanup(func() {
+			ts.Close()
+			sched.Close()
+		})
+		return ts
+	}
+	tsInd := newServer(true) // baseline: unbatched per-spec serving
+	tsBat := newServer(false)
+
+	// report mirrors the wire shape of service.Report; float64 JSON
+	// round-trips exactly (shortest round-trip encoding), so comparing
+	// decoded values still checks bit-identity.
+	type report struct {
+		SpecHash           string    `json:"spec_hash"`
+		Steps              int       `json:"steps"`
+		Replications       int       `json:"replications"`
+		BestQuality        float64   `json:"best_quality"`
+		AverageGroupReward float64   `json:"average_group_reward"`
+		Regret             float64   `json:"regret"`
+		RegretStdDev       float64   `json:"regret_stddev"`
+		Popularity         []float64 `json:"popularity"`
+	}
+	type sweepResult struct {
+		Results []report `json:"results"`
+	}
+	post := func(client *http.Client, url string, payload any, out any) error {
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		return json.Unmarshal(raw, out)
+	}
+	makeSweep := func(iter int) service.SweepSpec {
+		sw := service.SweepSpec{
+			Family: service.SweepFamily{Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7},
+		}
+		for v := 0; v < nVariants; v++ {
+			sw.Variants = append(sw.Variants, service.SweepVariant{
+				N:     1000 * (1 + v%4),
+				Steps: 100,
+				Seed:  uint64(1 + iter*nVariants + v),
+			})
+		}
+		return sw
+	}
+	variantSpec := func(sw service.SweepSpec, v int) service.Spec {
+		return service.Spec{
+			N:         sw.Variants[v].N,
+			Qualities: sw.Family.Qualities,
+			Beta:      sw.Family.Beta,
+			Steps:     sw.Variants[v].Steps,
+			Seed:      sw.Variants[v].Seed,
+		}
+	}
+
+	clientInd := tsInd.Client()
+	clientBat := tsBat.Client()
+	var tInd, tBat time.Duration
+	for i := 0; i < b.N; i++ {
+		sw := makeSweep(i)
+
+		// Independent path: 16 concurrent /v1/simulate calls.
+		indReports := make([]report, nVariants)
+		errs := make([]error, nVariants)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for v := 0; v < nVariants; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				errs[v] = post(clientInd, tsInd.URL+"/v1/simulate", variantSpec(sw, v), &indReports[v])
+			}(v)
+		}
+		wg.Wait()
+		tInd += time.Since(start)
+		for v, err := range errs {
+			if err != nil {
+				b.Fatalf("independent variant %d: %v", v, err)
+			}
+		}
+
+		// Batched path: one /v1/sweep call for the whole family.
+		var sr sweepResult
+		start = time.Now()
+		if err := post(clientBat, tsBat.URL+"/v1/sweep", sw, &sr); err != nil {
+			b.Fatal(err)
+		}
+		tBat += time.Since(start)
+		if len(sr.Results) != nVariants {
+			b.Fatalf("sweep returned %d results", len(sr.Results))
+		}
+
+		for v := 0; v < nVariants; v++ {
+			ind, bat := indReports[v], sr.Results[v]
+			if ind.SpecHash != bat.SpecHash || ind.Regret != bat.Regret ||
+				ind.AverageGroupReward != bat.AverageGroupReward ||
+				ind.RegretStdDev != bat.RegretStdDev {
+				b.Fatalf("variant %d: batched report diverged from independent path:\n%+v\n%+v", v, bat, ind)
+			}
+			for j := range ind.Popularity {
+				if ind.Popularity[j] != bat.Popularity[j] {
+					b.Fatalf("variant %d: popularity[%d] %v != %v", v, j, bat.Popularity[j], ind.Popularity[j])
+				}
+			}
+		}
+	}
+	if tBat > 0 {
+		b.ReportMetric(float64(tInd)/float64(tBat), "speedup_x")
+		b.ReportMetric(tBat.Seconds()/float64(b.N)*1e3, "batched_ms/sweep")
+		b.ReportMetric(tInd.Seconds()/float64(b.N)*1e3, "independent_ms/sweep")
+	}
 }
 
 // BenchmarkServiceSimulate times the serving path of internal/service

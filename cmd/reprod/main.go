@@ -1,13 +1,19 @@
 // Command reprod is the simulation-serving daemon: it exposes the
 // library through internal/service's HTTP API with a bounded sharded
-// scheduler and an LRU result cache, and shuts down gracefully,
-// draining in-flight jobs, on SIGINT/SIGTERM.
+// scheduler, a batched sweep engine (POST /v1/sweep plus same-family
+// coalescing of queued specs; see -sweep-workers and -coalesce), and
+// an LRU result cache, and shuts down gracefully, draining in-flight
+// jobs, on SIGINT/SIGTERM.
 //
 // Example:
 //
 //	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
 //	curl -s localhost:8080/v1/simulate -d \
 //	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+//	curl -s localhost:8080/v1/sweep -d '{
+//	  "family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
+//	  "variants": [{"n": 1000, "steps": 1000, "seed": 1},
+//	               {"n": 100000, "steps": 1000, "seed": 2}]}'
 package main
 
 import (
@@ -50,6 +56,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		cache    = fs.Int("cache", 1024, "cached reports (0 disables storage, keeps single-flight)")
 		retain   = fs.Int("retain", 1024, "finished jobs kept queryable")
 		jobTime  = fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock limit once running (0 disables)")
+		sweepW   = fs.Int("sweep-workers", 0, "fan-out of one batched sweep (0 = workers)")
+		coalesce = fs.Bool("coalesce", true, "batch concurrently queued same-family specs into one vectorized sweep")
 		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,10 +66,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	logger := log.New(logw, "reprod: ", log.LstdFlags)
 
 	sched, err := service.NewScheduler(service.SchedulerConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RetainJobs: *retain,
-		JobTimeout: *jobTime,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RetainJobs:      *retain,
+		JobTimeout:      *jobTime,
+		SweepWorkers:    *sweepW,
+		DisableCoalesce: !*coalesce,
 	})
 	if err != nil {
 		return err

@@ -93,6 +93,76 @@ func TestDaemonServesSimulate(t *testing.T) {
 	}
 }
 
+// TestDaemonServesSweep drives POST /v1/sweep through the daemon with
+// the sweep flags set, and checks the coalesce counters surface in
+// /statsz.
+func TestDaemonServesSweep(t *testing.T) {
+	t.Parallel()
+
+	base, _ := startDaemon(t, "-sweep-workers", "2", "-coalesce=true")
+	body := `{
+		"family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
+		"variants": [
+			{"n": 1000, "steps": 200, "seed": 31},
+			{"n": 2000, "steps": 200, "seed": 32}
+		]
+	}`
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d (%s)", resp.StatusCode, raw)
+	}
+	var out struct {
+		Variants int `json:"variants"`
+		Results  []struct {
+			Cached bool      `json:"cached"`
+			Regret float64   `json:"regret"`
+			Pop    []float64 `json:"popularity"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Variants != 2 || len(out.Results) != 2 {
+		t.Fatalf("sweep response %s", raw)
+	}
+	for i, res := range out.Results {
+		if res.Cached || len(res.Pop) != 3 {
+			t.Errorf("variant %d: cached=%v popularity=%v", i, res.Cached, res.Pop)
+		}
+	}
+
+	sresp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Scheduler struct {
+			Sweeps       uint64 `json:"sweeps"`
+			SweepWorkers int    `json:"sweep_workers"`
+		} `json:"scheduler"`
+	}
+	if err := json.Unmarshal(sraw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Sweeps != 1 || stats.Scheduler.SweepWorkers != 2 {
+		t.Errorf("statsz sweeps=%d sweep_workers=%d, want 1 and 2 (%s)",
+			stats.Scheduler.Sweeps, stats.Scheduler.SweepWorkers, sraw)
+	}
+}
+
 // TestDaemonGracefulShutdown submits work, stops the daemon, and
 // checks it exits cleanly (drained) rather than hanging or erroring.
 func TestDaemonGracefulShutdown(t *testing.T) {

@@ -17,11 +17,24 @@
 // bounded sharded job scheduler with admission control, per-job
 // cancellation, and a server-side job timeout, an LRU result cache
 // with single-flight deduplication, and net/http handlers
-// (synchronous POST /v1/simulate,
+// (synchronous POST /v1/simulate, batched POST /v1/sweep,
 // asynchronous POST /v1/jobs + GET /v1/jobs/{id}, NDJSON trace
-// streaming, /healthz, /statsz). cmd/reprod is the daemon binary:
+// streaming, /healthz, /statsz). Parameter sweeps — the paper's
+// native workload — run batched: a SweepSpec names one shared
+// (qualities, β, µ) family plus per-variant (n, engine, steps, seed)
+// axes, is admitted as one job whose work charge is the summed
+// per-variant cost, and executes through internal/experiment.RunSweep,
+// which resolves the family once (core.Template) and fans
+// (variant, replication) tasks across a bounded worker group; the
+// scheduler also coalesces concurrently queued single specs that
+// share a family into the same vectorized path, bit-identical to
+// running each spec alone. cmd/reprod is the daemon binary:
 //
 //	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
 //	curl -s localhost:8080/v1/simulate -d \
 //	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+//	curl -s localhost:8080/v1/sweep -d '{
+//	  "family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
+//	  "variants": [{"n": 1000, "steps": 1000, "seed": 1},
+//	               {"n": 100000, "steps": 1000, "seed": 2}]}'
 package repro

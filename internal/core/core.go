@@ -239,6 +239,83 @@ func New(c Config) (*Group, error) {
 	return g, nil
 }
 
+// Template is a pre-resolved Config for parameter sweeps: it runs
+// resolve once — environment construction, adoption-rule validation,
+// the α = 1−β and µ = δ²/6 defaults, the η_1 benchmark — and then
+// stamps out Groups that differ only in the variant axes (population
+// size, engine, seed). Every Group shares the template's environment,
+// so NewTemplate requires the default IID Bernoulli environment (built
+// from Qualities), which is immutable and safe for concurrent Step
+// calls; custom environments may carry per-run state (Drifting,
+// Switching) and are rejected. Network configs are rejected for the
+// same reason: a graph is per-run state.
+//
+// Group(n, engine, seed) is equivalent to New with the same Config —
+// the constructed group reproduces a direct New(...).Run(...) bit for
+// bit — minus the per-group resolve cost.
+type Template struct {
+	environ env.Environment
+	rule    agent.Linear
+	mu      float64
+	eta1    float64
+}
+
+// NewTemplate resolves the sweep-invariant parts of c. The variant
+// fields (N, Engine, Seed) of c are ignored; pass them to Group.
+func NewTemplate(c Config) (*Template, error) {
+	if c.Environment != nil {
+		return nil, fmt.Errorf("%w: template requires the default IID environment (custom environments may be stateful and cannot be shared across sweep runs)", ErrBadConfig)
+	}
+	if c.Network != nil {
+		return nil, fmt.Errorf("%w: template does not support network configs (the graph is per-run state)", ErrBadConfig)
+	}
+	environ, rule, mu, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	eta1 := 0.0
+	for _, q := range environ.Qualities() {
+		if q > eta1 {
+			eta1 = q
+		}
+	}
+	return &Template{environ: environ, rule: rule, mu: mu, eta1: eta1}, nil
+}
+
+// Group builds one group for a variant of the template's family: n = 0
+// selects the infinite-population process, otherwise engine selects the
+// finite implementation. The result is identical to New with the
+// corresponding Config.
+func (t *Template) Group(n int, engine EngineKind, seed uint64) (*Group, error) {
+	g := &Group{environ: t.environ, eta1: t.eta1, rule: t.rule, mu: t.mu}
+	if n == 0 {
+		p, err := infinite.New(infinite.Config{
+			Mu: t.mu, Rule: t.rule, Env: t.environ, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		g.infinite = p
+		return g, nil
+	}
+	popCfg := population.Config{
+		N: n, Mu: t.mu, Rule: t.rule, Env: t.environ, Seed: seed,
+	}
+	var err error
+	switch engine {
+	case EngineAggregate:
+		g.finite, err = population.NewAggregateEngine(popCfg)
+	case EngineAgent:
+		g.finite, err = population.NewAgentEngine(popCfg)
+	default:
+		return nil, fmt.Errorf("%w: unknown engine %d", ErrBadConfig, engine)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return g, nil
+}
+
 // IsInfinite reports whether the group is the infinite-population
 // process.
 func (g *Group) IsInfinite() bool { return g.infinite != nil }

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// defaultSweepCheckEvery is the fallback number of steps between
+// context checks for a sweep task whose variant does not set one.
+const defaultSweepCheckEvery = 2048
+
+// SweepVariant is one member of a parameter sweep: the axes that vary
+// across runs of a shared (qualities, β, µ) family.
+type SweepVariant struct {
+	// N is the population size; 0 selects the infinite-population
+	// process.
+	N int
+	// Engine selects the finite-population implementation.
+	Engine core.EngineKind
+	// Steps is the horizon T.
+	Steps int
+	// Replications averages this many independent runs (min 1).
+	// Replication r seeds with SeedFor(Seed, r), matching the serving
+	// layer's per-spec execution, so sweep results are bit-identical to
+	// running each variant on its own.
+	Replications int
+	// Seed is the variant's base seed.
+	Seed uint64
+	// CheckEvery is the number of steps between context-cancellation
+	// checks (0 selects a default). Callers running expensive per-step
+	// variants (large agent populations) should scale this down so
+	// cancellation latency stays bounded in wall-clock terms.
+	CheckEvery int
+	// Ctx optionally cancels just this variant: the sweep keeps running
+	// the others and reports the cancellation in the variant's Err.
+	// Nil means only the sweep-wide context applies.
+	Ctx context.Context
+	// OnStart, when non-nil, runs exactly once, when the variant's
+	// first replication task actually begins — not when the sweep is
+	// assembled. A non-nil returned context replaces Ctx for the rest
+	// of the variant's lifetime. Callers use this to start per-variant
+	// clocks (the serving layer arms each coalesced job's timeout here,
+	// so a job queued behind batch peers is not expired by work it
+	// never ran).
+	OnStart func() context.Context
+}
+
+// SweepResult is the outcome of one variant. When Err is nil the
+// scalar fields carry the same values — bit for bit — that running the
+// variant alone (core.New per replication, merged in replication
+// order) would produce.
+type SweepResult struct {
+	// BestQuality is η_1, the regret benchmark.
+	BestQuality float64
+	// AverageGroupReward is the mean over replications of the
+	// time-averaged group reward.
+	AverageGroupReward float64
+	// Regret is the mean per-replication average regret.
+	Regret float64
+	// RegretStdDev is the sample standard deviation of the
+	// per-replication regrets (0 with one replication).
+	RegretStdDev float64
+	// Popularity is the final popularity vector averaged elementwise
+	// across replications.
+	Popularity []float64
+	// Err is the variant's terminal error (context cancellation or a
+	// run failure); the other fields are zero when it is set.
+	Err error
+}
+
+// SweepOptions bounds the sweep's fan-out.
+type SweepOptions struct {
+	// Workers caps the number of concurrent (variant, replication)
+	// tasks of this sweep; 0 selects GOMAXPROCS.
+	Workers int
+	// Gate, when non-nil, is a shared buffered channel acquired (send)
+	// around each task's simulation work, bounding the AGGREGATE
+	// parallelism of every sweep sharing it: N concurrent RunSweep
+	// calls with one cap-C gate run at most C tasks at once, not N×C.
+	// Tasks blocked on the gate have not started (OnStart has not
+	// fired), so gated waiting does not burn per-variant clocks.
+	Gate chan struct{}
+}
+
+// RunSweep executes every variant of a shared-family sweep with
+// amortized setup: the family config (qualities, β, α, µ) is resolved
+// once into a core.Template, and the (variant, replication) tasks fan
+// out across a bounded worker group instead of serializing per
+// variant. proto carries the family fields; its N, Engine, and Seed
+// are ignored.
+//
+// Per-variant failures (including per-variant context cancellation)
+// are reported in the corresponding SweepResult.Err; RunSweep itself
+// errors only on invalid options or an invalid family.
+func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, opt SweepOptions) ([]SweepResult, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("%w: empty sweep", ErrBadOptions)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tmpl, err := core.NewTemplate(proto)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: sweep family: %w", err)
+	}
+	type task struct{ v, rep int }
+	var tasks []task
+	reps := make([]int, len(variants))
+	for v := range variants {
+		if variants[v].Steps <= 0 {
+			return nil, fmt.Errorf("%w: variant %d steps=%d", ErrBadOptions, v, variants[v].Steps)
+		}
+		reps[v] = variants[v].Replications
+		if reps[v] <= 0 {
+			reps[v] = 1
+		}
+		for rep := 0; rep < reps[v]; rep++ {
+			tasks = append(tasks, task{v, rep})
+		}
+	}
+
+	// Per-(variant, replication) outputs, merged deterministically (in
+	// replication order) after the pool drains so the averages do not
+	// depend on scheduling.
+	avgs := make([][]float64, len(variants))
+	pops := make([][][]float64, len(variants))
+	errs := make([][]error, len(variants))
+	var bestQ float64
+	var bestQOnce sync.Once
+	for v := range variants {
+		avgs[v] = make([]float64, reps[v])
+		pops[v] = make([][]float64, reps[v])
+		errs[v] = make([]error, reps[v])
+	}
+
+	// vctxs[v] starts as the variant's Ctx and is replaced by OnStart's
+	// return value under starts[v] (Once.Do gives later tasks of the
+	// same variant a happens-before edge to the write).
+	starts := make([]sync.Once, len(variants))
+	vctxs := make([]context.Context, len(variants))
+	for v := range variants {
+		vctxs[v] = variants[v].Ctx
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	next := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range next {
+				v := &variants[tk.v]
+				// The gate wait watches the variant's ORIGINAL Ctx —
+				// vctxs[tk.v] may be concurrently replaced inside the
+				// first task's Once.Do, and only reads that happen
+				// after our own Do below are ordered against it.
+				if err := acquireGate(ctx, v.Ctx, opt.Gate); err != nil {
+					errs[tk.v][tk.rep] = err
+					continue
+				}
+				starts[tk.v].Do(func() {
+					if v.OnStart != nil {
+						if c := v.OnStart(); c != nil {
+							vctxs[tk.v] = c
+						}
+					}
+				})
+				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep)
+				if opt.Gate != nil {
+					<-opt.Gate
+				}
+				if err != nil {
+					errs[tk.v][tk.rep] = err
+					continue
+				}
+				avgs[tk.v][tk.rep] = avg
+				pops[tk.v][tk.rep] = pop
+				bestQOnce.Do(func() { bestQ = eta1 })
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		next <- tk
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]SweepResult, len(variants))
+	for v := range variants {
+		out[v] = mergeVariant(bestQ, avgs[v], pops[v], errs[v])
+	}
+	return out, nil
+}
+
+// acquireGate takes a slot on the shared gate, abandoning the wait if
+// either context dies first (a canceled variant must not queue for
+// simulation capacity it will never use).
+func acquireGate(ctx, vctx context.Context, gate chan struct{}) error {
+	if err := sweepCtxErr(ctx, vctx); err != nil {
+		return err
+	}
+	if gate == nil {
+		return nil
+	}
+	var vdone <-chan struct{}
+	if vctx != nil {
+		vdone = vctx.Done()
+	}
+	select {
+	case gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-vdone:
+		return vctx.Err()
+	}
+}
+
+// runSweepTask runs one replication of one variant, checking the sweep
+// and variant contexts every CheckEvery steps.
+func runSweepTask(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, rep int) (avg float64, pop []float64, eta1 float64, err error) {
+	if err := sweepCtxErr(ctx, vctx); err != nil {
+		return 0, nil, 0, err
+	}
+	g, err := tmpl.Group(v.N, v.Engine, SeedFor(v.Seed, rep))
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("experiment: sweep replication %d: %w", rep, err)
+	}
+	checkEvery := v.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = defaultSweepCheckEvery
+	}
+	var cum float64
+	for t := 1; t <= v.Steps; t++ {
+		if t%checkEvery == 0 {
+			if err := sweepCtxErr(ctx, vctx); err != nil {
+				return 0, nil, 0, err
+			}
+		}
+		if err := g.Step(); err != nil {
+			return 0, nil, 0, fmt.Errorf("experiment: sweep step %d: %w", t, err)
+		}
+		cum += g.GroupReward()
+	}
+	return cum / float64(v.Steps), g.Popularity(), g.BestQuality(), nil
+}
+
+// sweepCtxErr folds the sweep-wide and per-variant contexts.
+func sweepCtxErr(ctx, vctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if vctx != nil {
+		return vctx.Err()
+	}
+	return nil
+}
+
+// mergeVariant folds one variant's replications in replication order —
+// the same accumulation sequence a serial per-variant run performs, so
+// the merged scalars are bit-identical to the unbatched path.
+func mergeVariant(bestQ float64, avgs []float64, pops [][]float64, errs []error) SweepResult {
+	for _, err := range errs {
+		if err != nil {
+			return SweepResult{Err: err}
+		}
+	}
+	var regrets stats.Summary
+	var rewardMean float64
+	var popSum []float64
+	for rep := range avgs {
+		regrets.Add(bestQ - avgs[rep])
+		rewardMean += (avgs[rep] - rewardMean) / float64(rep+1)
+		if popSum == nil {
+			popSum = make([]float64, len(pops[rep]))
+		}
+		for j := range pops[rep] {
+			popSum[j] += pops[rep][j]
+		}
+	}
+	for j := range popSum {
+		popSum[j] /= float64(len(avgs))
+	}
+	return SweepResult{
+		BestQuality:        bestQ,
+		AverageGroupReward: rewardMean,
+		Regret:             regrets.Mean(),
+		RegretStdDev:       regrets.StdDev(),
+		Popularity:         popSum,
+	}
+}

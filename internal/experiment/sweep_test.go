@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// serialVariant reproduces the unbatched per-variant execution: one
+// core.New per replication, merged in replication order. The sweep
+// driver must match it bit for bit.
+func serialVariant(t *testing.T, proto core.Config, v SweepVariant) SweepResult {
+	t.Helper()
+	reps := v.Replications
+	if reps <= 0 {
+		reps = 1
+	}
+	var regrets stats.Summary
+	var rewardMean, bestQ float64
+	var popSum []float64
+	for rep := 0; rep < reps; rep++ {
+		cfg := proto
+		cfg.N = v.N
+		cfg.Engine = v.Engine
+		cfg.Seed = SeedFor(v.Seed, rep)
+		g, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cum float64
+		for s := 0; s < v.Steps; s++ {
+			if err := g.Step(); err != nil {
+				t.Fatal(err)
+			}
+			cum += g.GroupReward()
+		}
+		avg := cum / float64(v.Steps)
+		bestQ = g.BestQuality()
+		regrets.Add(bestQ - avg)
+		rewardMean += (avg - rewardMean) / float64(rep+1)
+		pop := g.Popularity()
+		if popSum == nil {
+			popSum = make([]float64, len(pop))
+		}
+		for j := range pop {
+			popSum[j] += pop[j]
+		}
+	}
+	for j := range popSum {
+		popSum[j] /= float64(reps)
+	}
+	return SweepResult{
+		BestQuality:        bestQ,
+		AverageGroupReward: rewardMean,
+		Regret:             regrets.Mean(),
+		RegretStdDev:       regrets.StdDev(),
+		Popularity:         popSum,
+	}
+}
+
+// TestRunSweepBitIdentical checks the batched sweep reproduces the
+// serial per-variant path exactly across engines, population sizes,
+// horizons, and replication counts.
+func TestRunSweepBitIdentical(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7}
+	variants := []SweepVariant{
+		{N: 1000, Steps: 300, Seed: 1},
+		{N: 10_000, Steps: 150, Seed: 2, Replications: 3},
+		{N: 200, Engine: core.EngineAgent, Steps: 200, Seed: 3},
+		{N: 0, Steps: 250, Seed: 4}, // infinite-population process
+		{N: 5000, Steps: 100, Seed: 1, Replications: 2},
+	}
+	results, err := RunSweep(context.Background(), proto, variants, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(variants) {
+		t.Fatalf("got %d results for %d variants", len(results), len(variants))
+	}
+	for i, v := range variants {
+		got := results[i]
+		if got.Err != nil {
+			t.Fatalf("variant %d: %v", i, got.Err)
+		}
+		want := serialVariant(t, proto, v)
+		if got.Regret != want.Regret {
+			t.Errorf("variant %d regret %v, want %v", i, got.Regret, want.Regret)
+		}
+		if got.AverageGroupReward != want.AverageGroupReward {
+			t.Errorf("variant %d reward %v, want %v", i, got.AverageGroupReward, want.AverageGroupReward)
+		}
+		if got.RegretStdDev != want.RegretStdDev {
+			t.Errorf("variant %d stddev %v, want %v", i, got.RegretStdDev, want.RegretStdDev)
+		}
+		if got.BestQuality != want.BestQuality {
+			t.Errorf("variant %d bestQ %v, want %v", i, got.BestQuality, want.BestQuality)
+		}
+		for j := range want.Popularity {
+			if got.Popularity[j] != want.Popularity[j] {
+				t.Errorf("variant %d popularity[%d] = %v, want %v", i, j, got.Popularity[j], want.Popularity[j])
+			}
+		}
+	}
+}
+
+// TestRunSweepPerVariantCancel cancels one variant and checks the
+// others complete untouched.
+func TestRunSweepPerVariantCancel(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 0.65}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	variants := []SweepVariant{
+		{N: 1000, Steps: 200, Seed: 1},
+		{N: 1000, Steps: 200, Seed: 2, Ctx: canceled},
+		{N: 1000, Steps: 200, Seed: 3},
+	}
+	results, err := RunSweep(context.Background(), proto, variants, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("canceled variant Err = %v, want context.Canceled", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("live variant %d failed: %v", i, results[i].Err)
+		}
+		want := serialVariant(t, proto, variants[i])
+		if results[i].Regret != want.Regret {
+			t.Errorf("live variant %d regret %v, want %v", i, results[i].Regret, want.Regret)
+		}
+	}
+}
+
+// TestRunSweepOnStart checks the lazy-start hook: OnStart fires
+// exactly once per variant, when its first task begins, and its
+// returned context replaces the variant context — the mechanism the
+// serving layer uses to arm a coalesced job's timeout at its actual
+// run instead of at batch assembly.
+func TestRunSweepOnStart(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 0.65}
+	var started [3]atomic.Int64
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	variants := []SweepVariant{
+		{N: 500, Steps: 100, Seed: 1, Replications: 4,
+			OnStart: func() context.Context { started[0].Add(1); return nil }},
+		// OnStart's returned context governs: this variant must die
+		// even though its own Ctx is live.
+		{N: 500, Steps: 100, Seed: 2, Replications: 2,
+			OnStart: func() context.Context { started[1].Add(1); return canceled }},
+		{N: 500, Steps: 100, Seed: 3,
+			OnStart: func() context.Context { started[2].Add(1); return nil }},
+	}
+	results, err := RunSweep(context.Background(), proto, variants, SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range variants {
+		if got := started[v].Load(); got != 1 {
+			t.Errorf("variant %d OnStart ran %d times, want 1", v, got)
+		}
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("variant 1 Err = %v, want context.Canceled via OnStart ctx", results[1].Err)
+	}
+	for _, v := range []int{0, 2} {
+		if results[v].Err != nil {
+			t.Errorf("variant %d failed: %v", v, results[v].Err)
+		}
+		want := serialVariant(t, proto, variants[v])
+		if results[v].Regret != want.Regret {
+			t.Errorf("variant %d regret %v, want %v", v, results[v].Regret, want.Regret)
+		}
+	}
+}
+
+// TestRunSweepGate checks a shared gate serializes tasks without
+// deadlocking or changing results, including across two concurrent
+// sweeps sharing the gate (the scheduler's aggregate-parallelism
+// bound).
+func TestRunSweepGate(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7}
+	gate := make(chan struct{}, 1)
+	mk := func(seedBase uint64) []SweepVariant {
+		return []SweepVariant{
+			{N: 1000, Steps: 200, Seed: seedBase, Replications: 2},
+			{N: 2000, Steps: 150, Seed: seedBase + 1},
+		}
+	}
+	var wg sync.WaitGroup
+	out := make([][]SweepResult, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = RunSweep(context.Background(), proto, mk(uint64(10*i+1)),
+				SweepOptions{Workers: 4, Gate: gate})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("sweep %d: %v", i, errs[i])
+		}
+		for v, res := range out[i] {
+			if res.Err != nil {
+				t.Fatalf("sweep %d variant %d: %v", i, v, res.Err)
+			}
+			want := serialVariant(t, proto, mk(uint64(10*i + 1))[v])
+			if res.Regret != want.Regret {
+				t.Errorf("sweep %d variant %d regret %v, want %v", i, v, res.Regret, want.Regret)
+			}
+		}
+	}
+	if len(gate) != 0 {
+		t.Errorf("gate not fully released: %d slots held", len(gate))
+	}
+}
+
+func TestRunSweepBadOptions(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 0.65}
+	if _, err := RunSweep(context.Background(), proto, nil, SweepOptions{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("empty sweep accepted: %v", err)
+	}
+	if _, err := RunSweep(context.Background(), proto,
+		[]SweepVariant{{N: 10, Steps: 0, Seed: 1}}, SweepOptions{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("zero-step variant accepted: %v", err)
+	}
+	bad := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 9}
+	if _, err := RunSweep(context.Background(), bad,
+		[]SweepVariant{{N: 10, Steps: 10, Seed: 1}}, SweepOptions{}); err == nil {
+		t.Error("invalid family accepted")
+	}
+}

@@ -133,6 +133,12 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, err
 // lead runs the computation for one flight and publishes the result.
 func (c *Cache) lead(key string, f *flight, compute func() (*Report, error)) {
 	report, err := compute()
+	c.publish(key, f, report, err)
+}
+
+// publish completes a flight: stores a successful report, removes the
+// flight, and releases every waiter.
+func (c *Cache) publish(key string, f *flight, report *Report, err error) {
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil && report != nil {
@@ -142,6 +148,46 @@ func (c *Cache) lead(key string, f *flight, compute func() (*Report, error)) {
 	f.report = report
 	f.err = err
 	close(f.done)
+}
+
+// Acquire is the non-callback face of the single-flight machinery,
+// for callers that compute many keys as one batch (the sweep path)
+// and so cannot hand each key its own compute closure. Exactly one of
+// the returns is non-zero:
+//
+//   - report ≠ nil: stored hit (counted like a Do hit).
+//   - publish ≠ nil: this caller leads the key's flight and MUST call
+//     publish exactly once with the outcome — also on its error paths
+//     — which stores the report and releases every waiter.
+//   - wait ≠ nil: another request (a Do leader or another Acquire
+//     caller) is computing this key; wait blocks for its outcome.
+//
+// Concurrent identical sweeps, and /v1/simulate requests racing a
+// sweep that covers the same spec, therefore simulate once, exactly
+// like concurrent identical simulate requests.
+func (c *Cache) Acquire(key string) (report *Report, publish func(*Report, error), wait func(context.Context) (*Report, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).report, nil, nil
+	}
+	if f, inFlight := c.flights[key]; inFlight {
+		c.waits++
+		return nil, nil, func(ctx context.Context) (*Report, error) {
+			select {
+			case <-f.done:
+				return f.report, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	return nil, func(report *Report, err error) { c.publish(key, f, report, err) }, nil
 }
 
 // store inserts under c.mu, evicting the least-recently-used entries
@@ -162,6 +208,18 @@ func (c *Cache) store(key string, report *Report) {
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// Put stores a report computed outside a Do flight (the sweep path
+// fills each variant's single-spec cache entry this way, so later
+// /v1/simulate requests for the same spec hit).
+func (c *Cache) Put(key string, report *Report) {
+	if report == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store(key, report)
+	c.mu.Unlock()
 }
 
 // Len returns the number of stored reports.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -17,6 +18,7 @@ const maxBodyBytes = 1 << 20
 // Server exposes the scheduler and cache over HTTP:
 //
 //	POST   /v1/simulate        synchronous, cached, single-flight
+//	POST   /v1/sweep           synchronous batched sweep, per-variant cached
 //	POST   /v1/jobs            asynchronous submission → 202 + id
 //	GET    /v1/jobs/{id}       job status (+ report when done)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
@@ -39,6 +41,7 @@ func NewServer(sched *Scheduler, cache *Cache) *Server {
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -70,13 +73,30 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// decodeStrict decodes the request body into v, rejecting unknown
+// fields and — because a body like `{"n":1,...}{"junk":1}` would
+// otherwise silently decode its first document and drop the rest —
+// trailing data after the first JSON document. It writes the 400 on
+// failure.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("decode spec: trailing data after JSON document"))
+		return false
+	}
+	return true
+}
+
 // decodeSpec reads, validates, and hashes the request body.
 func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, string, bool) {
 	var spec Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+	if !decodeStrict(w, r, &spec) {
 		return Spec{}, "", false
 	}
 	if err := spec.Validate(); err != nil {
@@ -118,9 +138,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return job.Report(), nil
 	})
+	if err != nil {
+		writeSyncError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{Cached: cached, Report: report})
+}
+
+// writeSyncError maps a synchronous execution error onto its status
+// code (shared by /v1/simulate and /v1/sweep).
+func writeSyncError(w http.ResponseWriter, err error) {
 	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, simulateResponse{Cached: cached, Report: report})
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
@@ -138,24 +166,162 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// sweepVariantResult is one variant's slot in the sweep response.
+type sweepVariantResult struct {
+	// Cached reports the variant was answered from the result cache
+	// instead of simulated in this sweep's batch.
+	Cached bool `json:"cached"`
+	*Report
+}
+
+// sweepResponse is the single response of POST /v1/sweep.
+type sweepResponse struct {
+	SweepHash      string               `json:"sweep_hash"`
+	Variants       int                  `json:"variants"`
+	CachedVariants int                  `json:"cached_variants"`
+	Results        []sweepVariantResult `json:"results"`
+}
+
+// handleSweep runs a batched sweep synchronously. Every variant rides
+// the single-spec cache and single-flight machinery (a variant and
+// the equivalent /v1/simulate spec share one key): stored hits are
+// answered directly, variants another request is already computing
+// are joined, and only the variants this request leads are admitted —
+// as one job whose work charge is the sum of theirs — and executed as
+// one vectorized batch. Led results fill the cache and release every
+// concurrent joiner, so identical concurrent sweeps (or a simulate
+// racing a sweep that covers its spec) simulate exactly once.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sweep SweepSpec
+	if !decodeStrict(w, r, &sweep) {
+		return
+	}
+	if err := sweep.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sweepHash, err := sweep.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hashes, err := sweep.variantHashes()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	results := make([]sweepVariantResult, len(sweep.Variants))
+	residual := SweepSpec{Family: sweep.Family}
+	var residualIdx []int
+	var residualHashes []string
+	var publishers []func(*Report, error)
+	type joined struct {
+		i    int
+		wait func(context.Context) (*Report, error)
+	}
+	var joins []joined
+	cachedCount := 0
+	for i := range sweep.Variants {
+		report, publish, wait := s.cache.Acquire(hashes[i])
+		switch {
+		case report != nil:
+			results[i] = sweepVariantResult{Cached: true, Report: report}
+			cachedCount++
+		case wait != nil:
+			joins = append(joins, joined{i, wait})
+			cachedCount++
+		default:
+			residual.Variants = append(residual.Variants, sweep.Variants[i])
+			residualIdx = append(residualIdx, i)
+			residualHashes = append(residualHashes, hashes[i])
+			publishers = append(publishers, publish)
+		}
+	}
+	// Led flights MUST be released on every exit; a leaked flight
+	// would hang all of its joiners.
+	published := false
+	defer func() {
+		if !published {
+			for _, publish := range publishers {
+				publish(nil, fmt.Errorf("service: sweep leader aborted"))
+			}
+		}
+	}()
+	fail := func(err error) {
+		published = true
+		for _, publish := range publishers {
+			publish(nil, err)
+		}
+		writeSyncError(w, err)
+	}
+
+	if len(residualIdx) > 0 {
+		job, err := s.sched.SubmitSweep(residual, sweepHash, residualHashes)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// As on the sync simulate path, wait on the job's own lifetime:
+		// the batch keeps running — and still fills the cache and
+		// releases joiners — if this client hangs up.
+		if err := job.Wait(context.Background()); err != nil {
+			fail(err)
+			return
+		}
+		if jobErr := job.Err(); jobErr != nil {
+			fail(jobErr)
+			return
+		}
+		published = true
+		for k, report := range job.Reports() {
+			publishers[k](report, nil)
+			results[residualIdx[k]] = sweepVariantResult{Cached: false, Report: report}
+		}
+	}
+	// Collect joined variants after publishing our own leads: a sweep
+	// naming one spec twice joins its own flight.
+	for _, jn := range joins {
+		report, err := jn.wait(r.Context())
+		if err != nil {
+			writeSyncError(w, err)
+			return
+		}
+		results[jn.i] = sweepVariantResult{Cached: true, Report: report}
+	}
+	writeJSON(w, http.StatusOK, sweepResponse{
+		SweepHash:      sweepHash,
+		Variants:       len(sweep.Variants),
+		CachedVariants: cachedCount,
+		Results:        results,
+	})
+}
+
 // jobResponse describes a job's externally visible state.
 type jobResponse struct {
-	ID       string     `json:"id"`
-	SpecHash string     `json:"spec_hash"`
-	Status   JobStatus  `json:"status"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Report   *Report    `json:"report,omitempty"`
+	ID       string    `json:"id"`
+	SpecHash string    `json:"spec_hash"`
+	Status   JobStatus `json:"status"`
+	// CancelRequested is set while a cancellation is pending: the job
+	// was asked to stop but has not reached a terminal state yet.
+	CancelRequested bool       `json:"cancel_requested,omitempty"`
+	Created         time.Time  `json:"created"`
+	Started         *time.Time `json:"started,omitempty"`
+	Finished        *time.Time `json:"finished,omitempty"`
+	Error           string     `json:"error,omitempty"`
+	Report          *Report    `json:"report,omitempty"`
+	// Reports carries a sweep job's per-variant results.
+	Reports []*Report `json:"reports,omitempty"`
 }
 
 func jobView(job *Job) jobResponse {
 	resp := jobResponse{
-		ID:       job.ID(),
-		SpecHash: job.SpecHash(),
-		Status:   job.Status(),
-		Report:   job.Report(),
+		ID:              job.ID(),
+		SpecHash:        job.SpecHash(),
+		Status:          job.Status(),
+		CancelRequested: job.CancelRequested(),
+		Report:          job.Report(),
+		Reports:         job.Reports(),
 	}
 	created, started, finished := job.Times()
 	resp.Created = created
@@ -208,11 +374,28 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cancelSettleBudget is how long DELETE /v1/jobs/{id} waits for the
+// canceled job to reach its terminal state before answering with the
+// pending cancel_requested view. Queued jobs settle synchronously
+// (Cancel reaps them from the backlog); running jobs stop at their
+// next context check, which the work-scaled check interval keeps well
+// inside this budget on an unloaded machine.
+const cancelSettleBudget = 500 * time.Millisecond
+
+// handleCancelJob cancels the job and reports its post-cancel state —
+// not the racy pre-cancel snapshot: the response is either terminal
+// (usually "canceled"; "done"/"failed" if the job beat the cancel) or
+// carries cancel_requested while a running job drains.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	if job, ok := s.lookupJob(w, r); ok {
-		job.Cancel()
-		writeJSON(w, http.StatusOK, jobView(job))
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
 	}
+	job.Cancel()
+	settle, cancel := context.WithTimeout(r.Context(), cancelSettleBudget)
+	defer cancel()
+	_ = job.Wait(settle) // on timeout the view below says cancel_requested
+	writeJSON(w, http.StatusOK, jobView(job))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -210,6 +210,10 @@ func TestSimulateBadRequests(t *testing.T) {
 	}{
 		{"malformed json", `{"n": `},
 		{"unknown field", `{"n": 10, "qualities": [0.9], "beta": 0.7, "steps": 10, "turbo": true}`},
+		// Regression: a second JSON document used to be silently
+		// ignored, so a concatenated body decoded as its first spec.
+		{"trailing document", `{"n": 10, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 10}{"junk": 1}`},
+		{"trailing garbage", `{"n": 10, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 10} trailing`},
 		{"invalid beta", `{"n": 10, "qualities": [0.9, 0.5], "beta": 7, "steps": 10}`},
 		{"no steps", `{"n": 10, "qualities": [0.9, 0.5], "beta": 0.7}`},
 		{"oversized work", fmt.Sprintf(`{"n": 10, "qualities": [0.9, 0.5], "beta": 0.7, "steps": %d, "replications": 100}`, MaxSteps)},
@@ -286,6 +290,185 @@ func TestQueueFullResponds429(t *testing.T) {
 	dresp.Body.Close()
 	if dresp.StatusCode != http.StatusOK {
 		t.Errorf("cancel status %d", dresp.StatusCode)
+	}
+}
+
+// TestSweepEndpoint drives POST /v1/sweep end to end: per-variant
+// results identical to the equivalent /v1/simulate specs, per-variant
+// cache fills visible to later traffic in both directions, and
+// validation errors mapped to 400.
+func TestSweepEndpoint(t *testing.T) {
+	t.Parallel()
+
+	ts, sched, _ := testServer(t, SchedulerConfig{Workers: 2, QueueDepth: 8, SweepWorkers: 4}, 32)
+	sweepBody := `{
+		"family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
+		"variants": [
+			{"n": 1000, "steps": 200, "seed": 11},
+			{"n": 2000, "steps": 200, "seed": 12, "replications": 2},
+			{"n": 0, "steps": 150, "seed": 13}
+		]
+	}`
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", sweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, raw)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Variants != 3 || sr.CachedVariants != 0 || len(sr.Results) != 3 {
+		t.Fatalf("sweep response shape %s", raw)
+	}
+	for i, res := range sr.Results {
+		if res.Cached || res.Report == nil {
+			t.Fatalf("variant %d: cached=%v report=%v", i, res.Cached, res.Report)
+		}
+	}
+
+	// Variant 0 equals the same spec served via /v1/simulate — and the
+	// sweep already filled its cache entry, so the simulate is a hit
+	// with the identical report.
+	resp, raw = postJSON(t, ts.URL+"/v1/simulate",
+		`{"n": 1000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 200, "seed": 11}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, raw)
+	}
+	var sim simulateResponse
+	if err := json.Unmarshal(raw, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Cached {
+		t.Error("simulate after sweep missed the per-variant cache fill")
+	}
+	if sim.Regret != sr.Results[0].Regret || sim.SpecHash != sr.Results[0].SpecHash {
+		t.Errorf("simulate %v/%s diverged from sweep variant %v/%s",
+			sim.Regret, sim.SpecHash, sr.Results[0].Regret, sr.Results[0].SpecHash)
+	}
+	if done := sched.Stats().Completed; done != 1 {
+		t.Errorf("completed = %d, want 1 (sweep only; simulate must hit cache)", done)
+	}
+
+	// Re-posting the sweep answers every variant from cache without a
+	// new job.
+	resp, raw = postJSON(t, ts.URL+"/v1/sweep", sweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat sweep status %d: %s", resp.StatusCode, raw)
+	}
+	var sr2 sweepResponse
+	if err := json.Unmarshal(raw, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.CachedVariants != 3 {
+		t.Errorf("repeat sweep cached %d variants, want 3", sr2.CachedVariants)
+	}
+	if done := sched.Stats().Completed; done != 1 {
+		t.Errorf("completed = %d after repeat sweep, want 1", done)
+	}
+
+	// The coalesce counters surface in /statsz.
+	var stats statszResponse
+	getJSON(t, ts.URL+"/statsz", &stats)
+	if stats.Scheduler.Sweeps != 1 {
+		t.Errorf("statsz sweeps = %d, want 1", stats.Scheduler.Sweeps)
+	}
+
+	for name, body := range map[string]string{
+		"no variants":   `{"family": {"qualities": [0.9, 0.5], "beta": 0.7}, "variants": []}`,
+		"bad family":    `{"family": {"qualities": [0.9, 0.5], "beta": 7}, "variants": [{"n": 10, "steps": 10, "seed": 1}]}`,
+		"bad variant":   `{"family": {"qualities": [0.9, 0.5], "beta": 0.7}, "variants": [{"n": 10, "steps": 0, "seed": 1}]}`,
+		"unknown field": `{"family": {"qualities": [0.9, 0.5], "beta": 0.7}, "variants": [{"n": 10, "steps": 10, "seed": 1}], "turbo": true}`,
+		"trailing junk": `{"family": {"qualities": [0.9, 0.5], "beta": 0.7}, "variants": [{"n": 10, "steps": 10, "seed": 1}]}{"x":1}`,
+		"summed work": `{"family": {"qualities": [0.9, 0.5], "beta": 0.7}, "variants": [
+			{"n": 1000000, "engine": "agent", "steps": 10000, "seed": 1},
+			{"n": 1000000, "engine": "agent", "steps": 10000, "seed": 2}]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, raw := postJSON(t, ts.URL+"/v1/sweep", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d (%s), want 400", resp.StatusCode, raw)
+			}
+		})
+	}
+}
+
+// TestCancelResponseReflectsCancel is the regression test for DELETE
+// returning the racy pre-cancel snapshot: canceling a queued job must
+// answer with the terminal canceled state, and the canceled job must
+// not keep its queue slot.
+func TestCancelResponseReflectsCancel(t *testing.T) {
+	t.Parallel()
+
+	ts, sched, _ := testServer(t, SchedulerConfig{Workers: 1, QueueDepth: 2}, 4)
+	slowBody := `{"n": 1000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 40000000, "seed": 21}`
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", slowBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d (%s)", resp.StatusCode, raw)
+	}
+	var blocker jobResponse
+	if err := json.Unmarshal(raw, &blocker); err != nil {
+		t.Fatal(err)
+	}
+	blockerJob, err := sched.Job(blocker.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blockerJob.Cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for blockerJob.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/jobs",
+		`{"n": 1000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 40000000, "seed": 22}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit status %d (%s)", resp.StatusCode, raw)
+	}
+	var queued jobResponse
+	if err := json.Unmarshal(raw, &queued); err != nil {
+		t.Fatal(err)
+	}
+
+	del := func(id string) jobResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dresp.Body.Close()
+		body, err := io.ReadAll(dresp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dresp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %s status %d (%s)", id, dresp.StatusCode, body)
+		}
+		var jr jobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+		return jr
+	}
+
+	// Queued job: the response must already be terminal, not "queued".
+	jr := del(queued.ID)
+	if jr.Status != JobCanceled {
+		t.Errorf("DELETE queued job returned status %q, want %q", jr.Status, JobCanceled)
+	}
+	if jr.CancelRequested {
+		t.Error("terminal cancel response still flags cancel_requested")
+	}
+
+	// Running job: with work-scaled context checks the cancel settles
+	// within the handler's wait budget, so the response is terminal
+	// too (cancel_requested would only appear under extreme load).
+	jr = del(blocker.ID)
+	if jr.Status != JobCanceled && !jr.CancelRequested {
+		t.Errorf("DELETE running job returned %q without cancel_requested", jr.Status)
 	}
 }
 

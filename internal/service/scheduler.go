@@ -32,8 +32,12 @@ var (
 	ErrJobTimeout = errors.New("service: job exceeded server time limit")
 )
 
-// ctxCheckEvery is how many simulation steps run between context
-// cancellation checks.
+// ctxCheckEvery is the most simulation steps that run between context
+// cancellation checks. Specs with expensive steps check more often:
+// Spec.checkInterval scales the interval down so roughly
+// ctxCheckBudget operations — not ctxCheckEvery steps — pass between
+// checks, keeping cancellation latency bounded in wall-clock terms for
+// max-size agent and topology specs.
 const ctxCheckEvery = 2048
 
 // Report is the JSON result of one completed simulation job. With
@@ -75,11 +79,26 @@ const (
 	JobCanceled JobStatus = "canceled"
 )
 
-// Job is one scheduled simulation.
+// Job is one scheduled simulation: a single spec, or a whole sweep
+// (sweep != nil) executed as one admission unit.
 type Job struct {
 	id   string
 	spec Spec
 	hash string
+
+	// sweep and variantHashes are set for sweep jobs; spec is unused
+	// then.
+	sweep         *SweepSpec
+	variantHashes []string
+
+	// coalesceKey groups queued single-spec jobs that share a
+	// (qualities, β, α, µ) family and can run as one batched sweep;
+	// empty means not coalescible (topology or trace requested, or a
+	// sweep job).
+	coalesceKey string
+
+	sched *Scheduler
+	shard int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -88,6 +107,7 @@ type Job struct {
 	mu       sync.Mutex
 	status   JobStatus
 	report   *Report
+	reports  []*Report
 	trace    *trace.Recorder
 	err      error
 	created  time.Time
@@ -98,7 +118,7 @@ type Job struct {
 // ID returns the job identifier.
 func (j *Job) ID() string { return j.id }
 
-// SpecHash returns the canonical hash of the job's spec.
+// SpecHash returns the canonical hash of the job's spec (or sweep).
 func (j *Job) SpecHash() string { return j.hash }
 
 // Status returns the current lifecycle state.
@@ -108,11 +128,20 @@ func (j *Job) Status() JobStatus {
 	return j.status
 }
 
-// Report returns the result (nil until the job is done).
+// Report returns the result (nil until the job is done; nil for sweep
+// jobs, which report per variant via Reports).
 func (j *Job) Report() *Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.report
+}
+
+// Reports returns a sweep job's per-variant results, in variant order
+// (nil until done, and nil for single-spec jobs).
+func (j *Job) Reports() []*Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reports
 }
 
 // Trace returns the recorded trajectory (nil unless the spec asked for
@@ -139,9 +168,30 @@ func (j *Job) Times() (created, started, finished time.Time) {
 	return j.created, j.started, j.finished
 }
 
-// Cancel asks the job to stop; queued jobs are dropped when their
-// worker reaches them, running jobs stop at the next context check.
-func (j *Job) Cancel() { j.cancel() }
+// CancelRequested reports that Cancel was called but the job has not
+// reached a terminal state yet (it stops at its next context check).
+func (j *Job) CancelRequested() bool {
+	if j.ctx.Err() == nil {
+		return false
+	}
+	switch j.Status() {
+	case JobDone, JobFailed, JobCanceled:
+		return false
+	}
+	return true
+}
+
+// Cancel asks the job to stop. A still-queued job is removed from its
+// shard's backlog immediately — freeing the queue slot for admission
+// control rather than letting canceled work occupy it until a worker
+// drains it — and finishes as canceled; a running job stops at its
+// next context check.
+func (j *Job) Cancel() {
+	j.cancel()
+	if j.sched != nil {
+		j.sched.reapQueued(j)
+	}
+}
 
 // Wait blocks until the job reaches a terminal state or ctx is done.
 func (j *Job) Wait(ctx context.Context) error {
@@ -165,6 +215,16 @@ func (j *Job) finish(status JobStatus, report *Report, rec *trace.Recorder, err 
 	close(j.done)
 }
 
+// finishSweep records a sweep job's terminal success.
+func (j *Job) finishSweep(reports []*Report) {
+	j.mu.Lock()
+	j.status = JobDone
+	j.reports = reports
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
 // SchedulerConfig sizes the worker pool.
 type SchedulerConfig struct {
 	// Workers is the number of shards; each shard owns one worker
@@ -172,7 +232,9 @@ type SchedulerConfig struct {
 	// identical specs serialize on one shard in submission order.
 	Workers int
 	// QueueDepth bounds each shard's backlog of not-yet-running jobs;
-	// a full queue rejects submissions with ErrOverloaded.
+	// a full queue rejects submissions with ErrOverloaded. (A worker
+	// additionally holds the batch it drained for coalescing, so up to
+	// QueueDepth more jobs can be pending-but-dequeued per shard.)
 	QueueDepth int
 	// RetainJobs bounds how many finished jobs stay queryable before
 	// the oldest are evicted (default 1024).
@@ -182,36 +244,85 @@ type SchedulerConfig struct {
 	// and a job that hits it finishes as JobFailed with ErrJobTimeout.
 	// Zero means no server-side time limit.
 	JobTimeout time.Duration
+	// SweepWorkers caps the AGGREGATE fan-out of batched sweeps: all
+	// concurrently executing sweep jobs and coalesced batches share
+	// one gate of this many slots, so total sweep-task parallelism is
+	// SweepWorkers — not Workers × SweepWorkers — and total simulation
+	// parallelism stays within Workers + SweepWorkers (a shard worker
+	// driving a batch blocks on the gate rather than computing).
+	// 0 defaults to Workers.
+	SweepWorkers int
+	// DisableCoalesce turns off same-family batching of concurrently
+	// queued single-spec jobs (sweep jobs still run vectorized). Used
+	// to benchmark the unbatched path and as an operational escape
+	// hatch.
+	DisableCoalesce bool
 }
 
 // SchedulerStats is a point-in-time snapshot for /statsz.
 type SchedulerStats struct {
-	Workers    int    `json:"workers"`
-	QueueDepth int    `json:"queue_depth"`
-	Queued     int    `json:"queued"`
-	Running    int    `json:"running"`
-	Completed  uint64 `json:"completed"`
-	Failed     uint64 `json:"failed"`
-	Canceled   uint64 `json:"canceled"`
+	Workers      int    `json:"workers"`
+	QueueDepth   int    `json:"queue_depth"`
+	SweepWorkers int    `json:"sweep_workers"`
+	Queued       int    `json:"queued"`
+	Running      int    `json:"running"`
+	Completed    uint64 `json:"completed"`
+	Failed       uint64 `json:"failed"`
+	Canceled     uint64 `json:"canceled"`
+	// Sweeps counts executed sweep jobs (POST /v1/sweep admissions).
+	Sweeps uint64 `json:"sweeps"`
+	// Batches counts coalesced batches: drains where ≥2 queued
+	// single-spec jobs shared a family and ran as one vectorized
+	// sweep.
+	Batches uint64 `json:"batches"`
+	// BatchedJobs counts single-spec jobs executed inside coalesced
+	// batches; SoloJobs counts the ones executed individually.
+	BatchedJobs uint64 `json:"batched_jobs"`
+	SoloJobs    uint64 `json:"solo_jobs"`
+	// MaxBatch is the largest coalesced batch so far.
+	MaxBatch int64 `json:"max_batch"`
+	// CoalesceRate is BatchedJobs / (BatchedJobs + SoloJobs): the
+	// fraction of single-spec jobs that rode a shared batch.
+	CoalesceRate float64 `json:"coalesce_rate"`
+}
+
+// shard is one worker's FIFO backlog. A slice guarded by a mutex —
+// not a channel — so cancellation can remove a queued job in place
+// (freeing its admission slot) and so the worker can drain the whole
+// backlog at once to coalesce same-family jobs.
+type shard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Job
+	closed bool
 }
 
 // Scheduler is a bounded sharded worker pool executing simulation
 // jobs.
 type Scheduler struct {
 	cfg    SchedulerConfig
-	shards []chan *Job
+	shards []*shard
+	// sweepGate bounds aggregate sweep-task parallelism across every
+	// concurrently executing batch (see SchedulerConfig.SweepWorkers).
+	sweepGate chan struct{}
 
 	mu     sync.Mutex
 	closed bool
 	jobs   map[string]*Job
 	doneQ  []string // finished job ids, oldest first, for retention
 
-	wg        sync.WaitGroup
-	nextID    atomic.Uint64
-	running   atomic.Int64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	canceled  atomic.Uint64
+	wg          sync.WaitGroup
+	nextID      atomic.Uint64
+	queued      atomic.Int64
+	running     atomic.Int64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	sweeps      atomic.Uint64
+	batches     atomic.Uint64
+	batchedJobs atomic.Uint64
+	soloJobs    atomic.Uint64
+	maxBatch    atomic.Int64
 }
 
 // NewScheduler validates the config and starts the workers.
@@ -231,15 +342,24 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.JobTimeout < 0 {
 		return nil, fmt.Errorf("%w: job timeout=%s", ErrBadSpec, cfg.JobTimeout)
 	}
+	if cfg.SweepWorkers < 0 {
+		return nil, fmt.Errorf("%w: sweep workers=%d", ErrBadSpec, cfg.SweepWorkers)
+	}
+	if cfg.SweepWorkers == 0 {
+		cfg.SweepWorkers = cfg.Workers
+	}
 	s := &Scheduler{
-		cfg:    cfg,
-		shards: make([]chan *Job, cfg.Workers),
-		jobs:   make(map[string]*Job),
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Workers),
+		sweepGate: make(chan struct{}, cfg.SweepWorkers),
+		jobs:      make(map[string]*Job),
 	}
 	for i := range s.shards {
-		s.shards[i] = make(chan *Job, cfg.QueueDepth)
+		sh := &shard{}
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards[i] = sh
 		s.wg.Add(1)
-		go s.worker(s.shards[i])
+		go s.worker(sh)
 	}
 	return s, nil
 }
@@ -274,36 +394,102 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 // hot serving path does not validate — and in particular does not
 // build a throwaway core.Group — twice per request.
 func (s *Scheduler) SubmitValidated(spec Spec, hash string) (*Job, error) {
+	job := s.newJob(hash)
+	job.spec = spec
+	job.coalesceKey = spec.familyKey()
+	return s.enqueue(job)
+}
+
+// SubmitSweep enqueues a validated sweep as one job: one queue slot,
+// one admission decision (Validate already bounded the summed
+// per-variant work), executed as one vectorized batch. variantHashes
+// are the single-spec cache keys of the sweep's variants, in order.
+func (s *Scheduler) SubmitSweep(sw SweepSpec, hash string, variantHashes []string) (*Job, error) {
+	job := s.newJob(hash)
+	job.sweep = &sw
+	job.variantHashes = variantHashes
+	return s.enqueue(job)
+}
+
+// newJob allocates a job shell for the given canonical hash.
+func (s *Scheduler) newJob(hash string) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
-	job := &Job{
-		id:      fmt.Sprintf("j%08d-%s", s.nextID.Add(1), hash[:8]),
-		spec:    spec,
+	return &Job{
+		id:      fmt.Sprintf("j%08d-%s", s.nextID.Add(1), hash[:min(8, len(hash))]),
 		hash:    hash,
+		sched:   s,
+		shard:   s.shardFor(hash),
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		status:  JobQueued,
 		created: time.Now(),
 	}
+}
+
+// enqueue registers the job and appends it to its shard's backlog,
+// enforcing admission control.
+func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		cancel()
+		job.cancel()
 		return nil, ErrClosed
 	}
 	s.jobs[job.id] = job
-	// Enqueue while holding the lock so Close cannot close the shard
-	// channel between the closed-flag check and the send.
-	select {
-	case s.shards[s.shardFor(hash)] <- job:
-		s.mu.Unlock()
-		return job, nil
-	default:
-		delete(s.jobs, job.id)
-		s.mu.Unlock()
-		cancel()
+	s.mu.Unlock()
+
+	sh := s.shards[job.shard]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		s.forget(job.id)
+		job.cancel()
+		return nil, ErrClosed
+	}
+	if len(sh.queue) >= s.cfg.QueueDepth {
+		sh.mu.Unlock()
+		s.forget(job.id)
+		job.cancel()
 		return nil, ErrOverloaded
 	}
+	sh.queue = append(sh.queue, job)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	s.queued.Add(1)
+	return job, nil
+}
+
+// forget removes a never-enqueued job from the registry.
+func (s *Scheduler) forget(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// reapQueued removes a canceled job from its shard's backlog, if it is
+// still there, and finishes it immediately. Idempotent and safe
+// against the worker: queue removal and the worker's drain are both
+// under the shard lock, so exactly one side finishes the job.
+func (s *Scheduler) reapQueued(job *Job) {
+	sh := s.shards[job.shard]
+	sh.mu.Lock()
+	found := false
+	for i, q := range sh.queue {
+		if q == job {
+			sh.queue = append(sh.queue[:i], sh.queue[i+1:]...)
+			found = true
+			break
+		}
+	}
+	sh.mu.Unlock()
+	if !found {
+		return
+	}
+	s.queued.Add(-1)
+	s.canceled.Add(1)
+	job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
+	s.retire(job)
 }
 
 // Job looks up a job by id.
@@ -319,19 +505,25 @@ func (s *Scheduler) Job(id string) (*Job, error) {
 
 // Stats snapshots the pool state.
 func (s *Scheduler) Stats() SchedulerStats {
-	queued := 0
-	for _, sh := range s.shards {
-		queued += len(sh)
+	st := SchedulerStats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.cfg.QueueDepth,
+		SweepWorkers: s.cfg.SweepWorkers,
+		Queued:       int(s.queued.Load()),
+		Running:      int(s.running.Load()),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Canceled:     s.canceled.Load(),
+		Sweeps:       s.sweeps.Load(),
+		Batches:      s.batches.Load(),
+		BatchedJobs:  s.batchedJobs.Load(),
+		SoloJobs:     s.soloJobs.Load(),
+		MaxBatch:     s.maxBatch.Load(),
 	}
-	return SchedulerStats{
-		Workers:    s.cfg.Workers,
-		QueueDepth: s.cfg.QueueDepth,
-		Queued:     queued,
-		Running:    int(s.running.Load()),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
-		Canceled:   s.canceled.Load(),
+	if total := st.BatchedJobs + st.SoloJobs; total > 0 {
+		st.CoalesceRate = float64(st.BatchedJobs) / float64(total)
 	}
+	return st
 }
 
 // Close stops admissions and drains: every already-queued job still
@@ -344,48 +536,124 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	for _, sh := range s.shards {
-		close(sh)
-	}
 	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 	s.wg.Wait()
 }
 
-func (s *Scheduler) worker(queue chan *Job) {
+// worker drains its shard. Each pass takes the whole backlog, so
+// concurrently queued jobs sharing a family coalesce into one batch.
+func (s *Scheduler) worker(sh *shard) {
 	defer s.wg.Done()
-	for job := range queue {
-		s.runJob(job)
+	for {
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && !sh.closed {
+			sh.cond.Wait()
+		}
+		if len(sh.queue) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		batch := make([]*Job, len(sh.queue))
+		copy(batch, sh.queue)
+		sh.queue = sh.queue[:0]
+		sh.mu.Unlock()
+		s.runBatch(batch)
 	}
 }
 
-func (s *Scheduler) runJob(job *Job) {
+// runBatch executes one drained backlog: single-spec jobs sharing a
+// coalesce key run as one vectorized sweep; everything else runs in
+// arrival order.
+func (s *Scheduler) runBatch(batch []*Job) {
+	if s.cfg.DisableCoalesce {
+		for _, job := range batch {
+			s.runJob(job)
+		}
+		return
+	}
+	used := make([]bool, len(batch))
+	for i, job := range batch {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		if job.coalesceKey == "" {
+			s.runJob(job)
+			continue
+		}
+		group := []*Job{job}
+		for k := i + 1; k < len(batch); k++ {
+			if !used[k] && batch[k].coalesceKey == job.coalesceKey {
+				used[k] = true
+				group = append(group, batch[k])
+			}
+		}
+		if len(group) == 1 {
+			s.runJob(job)
+			continue
+		}
+		s.runCoalesced(group)
+	}
+}
+
+// dequeue transitions a job out of the pending state; it returns false
+// after finishing the job when it was canceled while queued.
+func (s *Scheduler) dequeue(job *Job) bool {
+	s.queued.Add(-1)
 	if job.ctx.Err() != nil {
 		s.canceled.Add(1)
 		job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
 		s.retire(job)
+		return false
+	}
+	return true
+}
+
+// runJob executes one job individually.
+func (s *Scheduler) runJob(job *Job) {
+	if !s.dequeue(job) {
 		return
 	}
+	if job.sweep == nil {
+		s.soloJobs.Add(1)
+	}
+	s.execute(job)
+}
+
+// start marks the job running and returns its execution context,
+// bounded by JobTimeout when configured. The timeout clock starts when
+// the job starts running, not when it was queued, so a deep backlog
+// cannot expire jobs before they run.
+func (s *Scheduler) start(job *Job) (context.Context, context.CancelFunc) {
 	job.mu.Lock()
 	job.status = JobRunning
 	job.started = time.Now()
 	job.mu.Unlock()
-	// The timeout clock starts when the job starts running, not when it
-	// was queued, so a deep backlog cannot expire jobs before they run.
-	ctx := job.ctx
 	if s.cfg.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeoutCause(job.ctx, s.cfg.JobTimeout, ErrJobTimeout)
-		defer cancel()
+		return context.WithTimeoutCause(job.ctx, s.cfg.JobTimeout, ErrJobTimeout)
 	}
-	s.running.Add(1)
-	report, rec, err := runSpec(ctx, &job.spec, job.hash)
-	s.running.Add(-1)
-	// Rewrite only deadline errors whose cause is the timeout this
-	// function installed: a deadline arriving via job.ctx from some
-	// other source must not be misreported as the server limit.
+	return job.ctx, func() {}
+}
+
+// rewriteTimeout maps a deadline error whose cause is the timeout this
+// scheduler installed onto ErrJobTimeout: a deadline arriving via
+// job.ctx from some other source must not be misreported as the
+// server limit.
+func (s *Scheduler) rewriteTimeout(ctx context.Context, err error) error {
 	if errors.Is(err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), ErrJobTimeout) {
-		err = fmt.Errorf("%w (%s)", ErrJobTimeout, s.cfg.JobTimeout)
+		return fmt.Errorf("%w (%s)", ErrJobTimeout, s.cfg.JobTimeout)
 	}
+	return err
+}
+
+// settle records a job's terminal state from its execution error.
+func (s *Scheduler) settle(job *Job, report *Report, rec *trace.Recorder, err error) {
 	switch {
 	case err == nil:
 		s.completed.Add(1)
@@ -398,6 +666,158 @@ func (s *Scheduler) runJob(job *Job) {
 		job.finish(JobFailed, nil, nil, err)
 	}
 	s.retire(job)
+}
+
+// execute runs a started job to its terminal state.
+func (s *Scheduler) execute(job *Job) {
+	ctx, cancel := s.start(job)
+	defer cancel()
+	s.running.Add(1)
+	if job.sweep != nil {
+		s.runSweepJob(ctx, job)
+		s.running.Add(-1)
+		return
+	}
+	report, rec, err := runSpec(ctx, &job.spec, job.hash)
+	s.running.Add(-1)
+	s.settle(job, report, rec, s.rewriteTimeout(ctx, err))
+}
+
+// runSweepJob executes a sweep job's variants as one vectorized batch.
+func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
+	s.sweeps.Add(1)
+	sw := job.sweep
+	variants := make([]experiment.SweepVariant, len(sw.Variants))
+	for i := range sw.Variants {
+		spec := sw.variantSpec(i)
+		variants[i] = experiment.SweepVariant{
+			N:            spec.N,
+			Engine:       spec.engineKind(),
+			Steps:        spec.Steps,
+			Replications: spec.Replications,
+			Seed:         spec.Seed,
+			CheckEvery:   spec.checkInterval(),
+		}
+	}
+	results, err := experiment.RunSweep(ctx, sw.familyConfig(), variants, experiment.SweepOptions{
+		Workers: s.cfg.SweepWorkers,
+		Gate:    s.sweepGate,
+	})
+	if err != nil {
+		s.settle(job, nil, nil, err)
+		return
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			s.settle(job, nil, nil, s.rewriteTimeout(ctx, res.Err))
+			return
+		}
+		spec := sw.variantSpec(i)
+		reports[i] = variantReport(job.variantHashes[i], &spec, res)
+	}
+	s.completed.Add(1)
+	job.finishSweep(reports)
+	s.retire(job)
+}
+
+// runCoalesced executes ≥2 queued single-spec jobs that share a
+// family as one vectorized sweep, with per-job contexts so each job
+// keeps its own cancellation and timeout.
+func (s *Scheduler) runCoalesced(group []*Job) {
+	live := make([]*Job, 0, len(group))
+	for _, job := range group {
+		if s.dequeue(job) {
+			live = append(live, job)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return
+	case 1:
+		s.soloJobs.Add(1)
+		s.execute(live[0])
+		return
+	}
+	n := int64(len(live))
+	s.batches.Add(1)
+	s.batchedJobs.Add(uint64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+
+	// Each job's running transition — and in particular its JobTimeout
+	// clock — is armed by OnStart when the job's first task actually
+	// begins, not when the batch is assembled: a job multiplexed
+	// behind its batch peers must not be expired by work it never ran.
+	// The slices are written from sweep workers and read only after
+	// RunSweep returns (its internal WaitGroup orders the accesses).
+	ctxs := make([]context.Context, len(live))
+	cancels := make([]context.CancelFunc, len(live))
+	variants := make([]experiment.SweepVariant, len(live))
+	for i, job := range live {
+		i, job := i, job
+		variants[i] = experiment.SweepVariant{
+			N:            job.spec.N,
+			Engine:       job.spec.engineKind(),
+			Steps:        job.spec.Steps,
+			Replications: job.spec.Replications,
+			Seed:         job.spec.Seed,
+			CheckEvery:   job.spec.checkInterval(),
+			Ctx:          job.ctx,
+			OnStart: func() context.Context {
+				ctxs[i], cancels[i] = s.start(job)
+				return ctxs[i]
+			},
+		}
+	}
+	s.running.Add(n)
+	results, err := experiment.RunSweep(context.Background(), live[0].spec.coreConfig(0), variants,
+		experiment.SweepOptions{Workers: s.cfg.SweepWorkers, Gate: s.sweepGate})
+	s.running.Add(-n)
+	for _, cancel := range cancels {
+		if cancel != nil {
+			cancel()
+		}
+	}
+	if err != nil {
+		// Family resolution cannot fail for validated specs; fail the
+		// batch defensively rather than dropping jobs.
+		for _, job := range live {
+			s.settle(job, nil, nil, err)
+		}
+		return
+	}
+	for i, job := range live {
+		ctx := ctxs[i]
+		if ctx == nil { // no task ever started (canceled before start)
+			ctx = job.ctx
+		}
+		if res := results[i]; res.Err != nil {
+			s.settle(job, nil, nil, s.rewriteTimeout(ctx, res.Err))
+		} else {
+			s.settle(job, variantReport(job.hash, &job.spec, res), nil, nil)
+		}
+	}
+}
+
+// variantReport shapes one sweep-driver result as the serving report
+// for the given spec. The driver's replication-order merge makes the
+// values bit-identical to runSpec on the same spec.
+func variantReport(hash string, spec *Spec, res experiment.SweepResult) *Report {
+	return &Report{
+		SpecHash:           hash,
+		Steps:              spec.Steps,
+		Replications:       spec.Replications,
+		BestQuality:        res.BestQuality,
+		AverageGroupReward: res.AverageGroupReward,
+		Regret:             res.Regret,
+		RegretStdDev:       res.RegretStdDev,
+		Popularity:         res.Popularity,
+	}
 }
 
 // retire enforces the finished-job retention bound.
@@ -420,6 +840,7 @@ func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Reco
 	var rewardMean, bestQ float64
 	var popSum []float64
 	var rec *trace.Recorder
+	checkEvery := spec.checkInterval()
 	for rep := 0; rep < spec.Replications; rep++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -439,7 +860,7 @@ func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Reco
 			}
 			row = make([]float64, 2+m)
 		}
-		avg, err := runGroup(ctx, g, spec.Steps, repRec, row)
+		avg, err := runGroup(ctx, g, spec.Steps, checkEvery, repRec, row)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -475,11 +896,11 @@ func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Reco
 
 // runGroup steps g for steps steps, accumulating the time-averaged
 // group reward exactly the way population.Run does, recording into rec
-// when non-nil, and honoring ctx every ctxCheckEvery steps.
-func runGroup(ctx context.Context, g *core.Group, steps int, rec *trace.Recorder, row []float64) (float64, error) {
+// when non-nil, and honoring ctx every checkEvery steps.
+func runGroup(ctx context.Context, g *core.Group, steps, checkEvery int, rec *trace.Recorder, row []float64) (float64, error) {
 	var cum float64
 	for t := 1; t <= steps; t++ {
-		if t%ctxCheckEvery == 0 {
+		if t%checkEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}

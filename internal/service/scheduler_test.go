@@ -418,6 +418,116 @@ func TestSchedulerJobTimeout(t *testing.T) {
 	}
 }
 
+// TestSchedulerCancelFreesQueueSlot is the regression test for
+// canceled-but-queued jobs pinning admission: canceling a queued job
+// must free its shard slot immediately (and finish the job) so live
+// traffic is not bounced with ErrOverloaded until a worker happens to
+// drain the corpse.
+func TestSchedulerCancelFreesQueueSlot(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 1, QueueDepth: 2})
+	blocker := validSpec()
+	blocker.Steps = 40_000_000
+	bjob, err := s.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bjob.Cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for bjob.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue, then cancel both queued jobs.
+	var queued []*Job
+	for i := 0; i < 2; i++ {
+		spec := validSpec()
+		spec.Seed = uint64(300 + i)
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, job)
+	}
+	if _, err := s.Submit(validSpec()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("pre-cancel over capacity = %v, want ErrOverloaded", err)
+	}
+	for i, job := range queued {
+		job.Cancel()
+		// The cancel settles synchronously: no worker ever saw the job.
+		select {
+		case <-job.done:
+		default:
+			t.Fatalf("canceled queued job %d not terminal", i)
+		}
+		if job.Status() != JobCanceled {
+			t.Errorf("canceled queued job %d status %s", i, job.Status())
+		}
+	}
+	// Both slots are free again while the blocker still runs.
+	for i := 0; i < 2; i++ {
+		spec := validSpec()
+		spec.Seed = uint64(400 + i)
+		if _, err := s.Submit(spec); err != nil {
+			t.Errorf("post-cancel submit %d = %v, want admitted", i, err)
+		}
+	}
+	if got := s.Stats().Canceled; got != 2 {
+		t.Errorf("Canceled = %d, want 2", got)
+	}
+}
+
+// TestSchedulerCancelLatencyScalesWithStepCost is the regression test
+// for the fixed 2048-step context-check interval: a max-size agent
+// spec (10⁶ agents) used to run up to ~2×10⁹ operations between
+// checks, so cancellation could overshoot by tens of seconds. With
+// the work-scaled interval the job must stop within a small
+// wall-clock bound.
+func TestSchedulerCancelLatencyScalesWithStepCost(t *testing.T) {
+	t.Parallel()
+
+	spec := validSpec()
+	spec.Engine = "agent"
+	spec.N = MaxAgentPopulation
+	spec.Steps = 10_000 // work = 10¹⁰ = MaxWork exactly: admitted
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The interval must come down from the step-count cap to the
+	// operation budget.
+	if got := spec.checkInterval(); got > ctxCheckBudget/MaxAgentPopulation || got < 1 {
+		t.Fatalf("checkInterval = %d for a 10⁶-agent spec", got)
+	}
+
+	s := newTestScheduler(t, SchedulerConfig{Workers: 1, QueueDepth: 2})
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for job.Status() != JobRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if job.Status() != JobRunning {
+		t.Fatal("job never started")
+	}
+	start := time.Now()
+	job.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := job.Wait(ctx); err != nil {
+		t.Fatalf("job did not stop after cancel: %v", err)
+	}
+	// A handful of ~10⁶-operation steps; generous headroom for -race
+	// and loaded CI. The unscaled 2048-step interval needs minutes.
+	if latency := time.Since(start); latency > 5*time.Second {
+		t.Errorf("cancellation latency %s, want < 5s", latency)
+	}
+	if job.Status() != JobCanceled {
+		t.Errorf("status %s, want canceled", job.Status())
+	}
+}
+
 // TestNewSchedulerRejectsNegativeTimeout covers the config check.
 func TestNewSchedulerRejectsNegativeTimeout(t *testing.T) {
 	t.Parallel()

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/regret"
 )
 
 // ErrBadSpec reports an invalid simulation request.
@@ -163,7 +164,11 @@ type Spec struct {
 }
 
 // Normalize fills defaults in place (engine name, replication count)
-// so that equivalent specs hash identically.
+// and canonicalizes explicit-default pointer fields to their absent
+// form, so that equivalent specs hash identically: {"alpha": 1−β},
+// {"mu": δ²/6}, {"engine": "aggregate"}, and {"replications": 1} all
+// denote the same simulation as leaving the field out, and must share
+// one cache key and one single-flight.
 func (s *Spec) Normalize() {
 	if s.Engine == "" {
 		s.Engine = "aggregate"
@@ -171,6 +176,42 @@ func (s *Spec) Normalize() {
 	if s.Replications == 0 {
 		s.Replications = 1
 	}
+	s.Alpha, s.Mu = canonicalAlphaMu(s.Beta, s.Alpha, s.Mu)
+}
+
+// canonicalAlphaMu maps explicitly spelled-out paper defaults back to
+// nil. An explicit zero is NOT a default (it forces the ablation
+// regimes via AlphaIsZero/MuIsZero), and comparison is exact: only a
+// bit-identical restatement of the derived default denotes the same
+// simulation.
+func canonicalAlphaMu(beta float64, alpha, mu *float64) (*float64, *float64) {
+	if alpha != nil && *alpha != 0 && *alpha == 1-beta {
+		alpha = nil
+	}
+	if mu != nil && *mu != 0 {
+		if d, ok := defaultMu(beta); ok && *mu == d {
+			mu = nil
+		}
+	}
+	return alpha, mu
+}
+
+// defaultMu mirrors core.Config's exploration-rate default: δ²/6
+// (capped at 1) for 1/2 < β < 1, else the 0.05 fallback. ok is false
+// when the default is undefined for beta.
+func defaultMu(beta float64) (mu float64, ok bool) {
+	if beta > 0.5 && beta < 1 {
+		delta, err := regret.Delta(beta)
+		if err != nil {
+			return 0, false
+		}
+		mu, err = regret.MaxMu(delta)
+		if err != nil {
+			return 0, false
+		}
+		return mu, true
+	}
+	return 0.05, true
 }
 
 // Validate normalizes the spec and checks the serving limits plus
@@ -215,12 +256,9 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("%w: engine %q (want \"aggregate\" or \"agent\")", ErrBadSpec, s.Engine)
 	}
-	// perStep is the dominant cost of one simulated step; bounded by
-	// MaxPopulation (= 10⁸), so horizon×perStep ≤ 5·10¹⁵ fits int64.
 	// buildCost is per-replication setup work: newGroup rebuilds the
 	// topology graph for every replication at O(edges), which for a
 	// dense (complete) graph dwarfs the O(nodes) step cost.
-	perStep := max(int64(len(s.Qualities)), 1)
 	var buildCost int64
 	if s.Topology != nil {
 		// Per-dimension bounds first: Rows×Cols could overflow before
@@ -242,7 +280,6 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("%w: topology %q would materialize %d edges, limit %d",
 				ErrBadSpec, t.Kind, edges, MaxTopologyEdges)
 		}
-		perStep = max(perStep, nodes)
 		buildCost = edges
 	} else if s.Engine == "agent" {
 		// The agent engine materializes O(N) state, not just O(N)
@@ -251,10 +288,10 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("%w: n=%d exceeds agent-engine limit %d (use the aggregate engine for large N)",
 				ErrBadSpec, s.N, MaxAgentPopulation)
 		}
-		perStep = max(perStep, int64(s.N))
 	}
 	// Replications ≤ MaxSteps (5·10⁷) and buildCost ≤ MaxTopologyEdges
 	// (10⁶), so the sum stays well inside int64.
+	perStep := s.perStepCost()
 	if work := horizon*perStep + int64(s.Replications)*buildCost; work > MaxWork {
 		return fmt.Errorf("%w: total work %d (steps×replications×per-step cost %d + per-replication setup) exceeds limit %d",
 			ErrBadSpec, work, perStep, MaxWork)
@@ -263,6 +300,44 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
 	return nil
+}
+
+// perStepCost is the dominant operation count of one simulated step —
+// m for the aggregate engine, N for the agent engine, the node count
+// for a topology — the same arithmetic Validate charges admission
+// for. Each factor is bounded by MaxPopulation (10⁸), so
+// horizon×perStepCost fits int64. Topology errors are ignored here
+// (Validate reports them); an invalid topology costs at least 1.
+func (s *Spec) perStepCost() int64 {
+	perStep := max(int64(len(s.Qualities)), 1)
+	if s.Topology != nil {
+		if nodes, _, err := s.Topology.size(); err == nil {
+			perStep = max(perStep, nodes)
+		}
+	} else if s.Engine == "agent" {
+		perStep = max(perStep, int64(s.N))
+	}
+	return perStep
+}
+
+// ctxCheckBudget is the target number of simulated operations between
+// context-cancellation checks on a running job: large enough that the
+// check is amortized noise, small enough that cancellation and the
+// server's JobTimeout act within milliseconds of wall clock even for
+// specs whose per-step cost is maximal (a fixed step interval would
+// let a 10⁶-agent spec run ~2×10⁹ operations — seconds — between
+// checks).
+const ctxCheckBudget = 1 << 22
+
+// checkInterval converts the per-step cost into a step interval for
+// context checks: at most ctxCheckEvery steps, at least 1, aiming for
+// ctxCheckBudget operations between checks.
+func (s *Spec) checkInterval() int {
+	every := int64(ctxCheckEvery)
+	if byBudget := ctxCheckBudget / s.perStepCost(); byBudget < every {
+		every = byBudget
+	}
+	return int(max(every, 1))
 }
 
 // coreConfig maps the spec onto core.Config with the given seed. The

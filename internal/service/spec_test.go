@@ -175,6 +175,90 @@ func TestSpecHashDeterministicAndCanonical(t *testing.T) {
 	}
 }
 
+// TestSpecHashCanonicalizesExplicitDefaults is the regression test
+// for cache-key fragmentation: spelling out a derived paper default —
+// alpha = 1−β exactly, mu = δ²/6 exactly — denotes the same
+// simulation as leaving the field absent and must produce the same
+// cache key, while explicit zeros (the ablation regimes) and any
+// other explicit value must keep their own keys.
+func TestSpecHashCanonicalizesExplicitDefaults(t *testing.T) {
+	t.Parallel()
+
+	base := validSpec()
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alpha := 1 - base.Beta // bit-identical to the derived default
+	withAlpha := validSpec()
+	withAlpha.Alpha = &alpha
+	if h, err := withAlpha.Hash(); err != nil || h != want {
+		t.Errorf("explicit alpha=1−β hash %s (err %v), want %s", h, err, want)
+	}
+	if withAlpha.Alpha != nil {
+		t.Error("Normalize left the default alpha pointer set")
+	}
+
+	mu, ok := defaultMu(base.Beta)
+	if !ok {
+		t.Fatalf("no default mu for beta=%v", base.Beta)
+	}
+	withMu := validSpec()
+	withMu.Mu = &mu
+	if h, err := withMu.Hash(); err != nil || h != want {
+		t.Errorf("explicit mu=δ²/6 hash %s (err %v), want %s", h, err, want)
+	}
+
+	// Both at once, next to the already-covered engine/replications
+	// defaults: the fully spelled-out spec is one cache entry with the
+	// terse one.
+	full := validSpec()
+	full.Alpha = &alpha
+	full.Mu = &mu
+	full.Engine = "aggregate"
+	full.Replications = 1
+	if h, err := full.Hash(); err != nil || h != want {
+		t.Errorf("fully explicit-default spec hash %s (err %v), want %s", h, err, want)
+	}
+
+	// Explicit zeros force the ablation regimes and are NOT defaults.
+	zero := 0.0
+	alphaZero := validSpec()
+	alphaZero.Alpha = &zero
+	if h, err := alphaZero.Hash(); err != nil || h == want {
+		t.Errorf("alpha=0 hash %s (err %v) collides with the default", h, err)
+	}
+	muZero := validSpec()
+	muZero.Mu = &zero
+	if h, err := muZero.Hash(); err != nil || h == want {
+		t.Errorf("mu=0 hash %s (err %v) collides with the default", h, err)
+	}
+
+	// A non-default explicit value keeps its own key.
+	other := 0.25
+	withOther := validSpec()
+	withOther.Alpha = &other
+	if h, err := withOther.Hash(); err != nil || h == want {
+		t.Errorf("alpha=0.25 hash %s (err %v) collides with the default", h, err)
+	}
+
+	// The beta≤1/2 fallback default (0.05) canonicalizes too.
+	half := validSpec()
+	half.Beta = 0.5
+	hHalf, err := half.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := 0.05
+	halfMu := validSpec()
+	halfMu.Beta = 0.5
+	halfMu.Mu = &fallback
+	if h, err := halfMu.Hash(); err != nil || h != hHalf {
+		t.Errorf("beta=0.5 explicit mu=0.05 hash %s (err %v), want %s", h, err, hHalf)
+	}
+}
+
 // TestSpecJSONRoundTrip checks a spec survives encode/decode with its
 // hash intact, so the wire form is the canonical form.
 func TestSpecJSONRoundTrip(t *testing.T) {
