@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func reportAll(b *testing.B, metrics map[string]float64, keys ...string) {
@@ -461,4 +462,166 @@ func BenchmarkServiceSimulate(b *testing.B) {
 			b.Fatalf("hot loop missed the cache: %+v", st)
 		}
 	})
+}
+
+// BenchmarkStoreTiers pins the two performance contracts of the
+// tiered persistent result store (internal/store behind the
+// service.Cache seam):
+//
+//  1. hot-tier hits through a Tiered backend are no slower than the
+//     plain in-proc LRU the cache used before (the memory front IS
+//     that LRU; the tier indirection must stay within noise), and
+//  2. cold hits served from the disk segment log still beat
+//     recomputing the result by ≥10× — the entire point of
+//     persisting the corpus across restarts.
+//
+// Reported metrics: ns/op per regime, the hot-tier ratio, and the
+// disk-vs-recompute speedup.
+func BenchmarkStoreTiers(b *testing.B) {
+	spec := service.Spec{
+		N:         10_000,
+		Qualities: []float64{0.9, 0.5, 0.5},
+		Beta:      0.7,
+		Steps:     1_000,
+		Seed:      1,
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := service.NewScheduler(service.SchedulerConfig{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sched.Close)
+	compute := func(seed uint64) *service.Report {
+		b.Helper()
+		s := spec
+		s.Seed = seed
+		job, err := sched.Submit(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Err(); err != nil {
+			b.Fatal(err)
+		}
+		return job.Report()
+	}
+	report := compute(spec.Seed)
+
+	// Baseline: the pre-change shape — service.Cache over the in-proc
+	// LRU — warmed with the report.
+	lruCache, err := service.NewCache(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lruCache.Put(hash, report)
+
+	newTieredCache := func(memCapacity int) *service.Cache {
+		b.Helper()
+		disk, err := store.OpenDisk(b.TempDir(), store.DiskOptions{MaxBytes: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tiered, err := store.NewTiered[*service.Report](memCapacity, disk, service.ReportCodec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := service.NewCacheWithStore(tiered)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+
+	// Hot regime: tiered cache with the key resident in the memory
+	// front.
+	hotCache := newTieredCache(1024)
+	hotCache.Put(hash, report)
+
+	// Cold regime: memory front of one slot with two alternating keys,
+	// so every Get reads through to the disk segment log (each
+	// promotion evicts the other key). Wait for the write-behind
+	// spills so both records are on disk before timing.
+	coldCache := newTieredCache(1)
+	coldKeys := [2]string{hash + "-cold0", hash + "-cold1"}
+	coldCache.Put(coldKeys[0], report)
+	coldCache.Put(coldKeys[1], report)
+	deadline := time.Now().Add(10 * time.Second)
+	for coldCache.Stats().Tiers.Spills < 2 {
+		if time.Now().After(deadline) {
+			b.Fatal("spills never landed on disk")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hit := func(c *service.Cache, key string) {
+		b.Helper()
+		r, cached, err := c.Do(context.Background(), key, func() (*service.Report, error) {
+			return nil, fmt.Errorf("hit path must not compute")
+		})
+		if err != nil || !cached || r == nil {
+			b.Fatalf("expected stored hit: cached=%v err=%v", cached, err)
+		}
+	}
+
+	const (
+		hotIters  = 20_000 // ~100ns ops: batch so timer overhead vanishes
+		coldIters = 500    // disk preads: µs each
+		simIters  = 2      // real recomputations: ms each
+	)
+	var tLRU, tTiered, tDisk, tSim time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for j := 0; j < hotIters; j++ {
+			hit(lruCache, hash)
+		}
+		tLRU += time.Since(start)
+
+		start = time.Now()
+		for j := 0; j < hotIters; j++ {
+			hit(hotCache, hash)
+		}
+		tTiered += time.Since(start)
+
+		start = time.Now()
+		for j := 0; j < coldIters; j++ {
+			hit(coldCache, coldKeys[j%2])
+		}
+		tDisk += time.Since(start)
+
+		start = time.Now()
+		for j := 0; j < simIters; j++ {
+			compute(uint64(1000 + i*simIters + j)) // fresh seed: no cache to hide behind
+		}
+		tSim += time.Since(start)
+	}
+
+	lruNs := float64(tLRU.Nanoseconds()) / float64(b.N*hotIters)
+	tieredNs := float64(tTiered.Nanoseconds()) / float64(b.N*hotIters)
+	diskNs := float64(tDisk.Nanoseconds()) / float64(b.N*coldIters)
+	simNs := float64(tSim.Nanoseconds()) / float64(b.N*simIters)
+	hotRatio := tieredNs / lruNs
+	coldSpeedup := simNs / diskNs
+	b.ReportMetric(lruNs, "lru_hot_ns/op")
+	b.ReportMetric(tieredNs, "tiered_hot_ns/op")
+	b.ReportMetric(diskNs, "disk_hit_ns/op")
+	b.ReportMetric(simNs, "recompute_ns/op")
+	b.ReportMetric(hotRatio, "hot_ratio_vs_lru")
+	b.ReportMetric(coldSpeedup, "disk_vs_recompute_x")
+
+	// The pins. The hot bound is generous (3×) because single hits
+	// are ~100ns and CI machines are noisy; the real expectation is
+	// ~1× and regressions that matter (decode or I/O sneaking onto
+	// the hot path) are orders of magnitude.
+	if hotRatio > 3.0 {
+		b.Fatalf("tiered hot hit %.0fns is %.1f× the plain LRU's %.0fns (budget 3×)", tieredNs, hotRatio, lruNs)
+	}
+	if coldSpeedup < 10 {
+		b.Fatalf("disk hit %.0fns only %.1f× faster than recompute %.0fns (need ≥10×)", diskNs, coldSpeedup, simNs)
+	}
 }

@@ -2,14 +2,19 @@
 // library through internal/service's HTTP API with a bounded sharded
 // scheduler, a batched sweep engine (POST /v1/sweep plus same-family
 // coalescing of queued specs; see -sweep-workers and -coalesce), and
-// an LRU result cache, and shuts down gracefully, draining in-flight
-// jobs, on SIGINT/SIGTERM.
+// a tiered result store — an in-memory LRU front and, with -store-dir
+// set, a crash-safe on-disk segment log behind it, so computed
+// results survive restarts and the server warm-starts answering
+// previously computed specs "cached":true. It shuts down gracefully,
+// draining in-flight jobs and flushing the store, on SIGINT/SIGTERM.
 //
 // Example:
 //
-//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
+//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024 \
+//	  -store-dir /var/lib/reprod -store-max-bytes 1073741824
 //	curl -s localhost:8080/v1/simulate -d \
 //	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+//	# restart the daemon; the same request now answers "cached":true
 //	curl -s localhost:8080/v1/sweep -d '{
 //	  "family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
 //	  "variants": [{"n": 1000, "steps": 1000, "seed": 1},
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -59,6 +65,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		sweepW   = fs.Int("sweep-workers", 0, "fan-out of one batched sweep (0 = workers)")
 		coalesce = fs.Bool("coalesce", true, "batch concurrently queued same-family specs into one vectorized sweep")
 		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		storeDir = fs.String("store-dir", "", "directory for the persistent result store (empty = in-memory only)")
+		storeMax = fs.Int64("store-max-bytes", 1<<30, "byte budget of the on-disk result store before segment GC (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,10 +84,34 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if err != nil {
 		return err
 	}
-	resultCache, err := service.NewCache(*cache)
-	if err != nil {
-		return err
+	// Result storage: in-proc LRU alone, or — with -store-dir — the
+	// LRU fronting a crash-safe disk segment log, so the cache
+	// warm-starts across restarts. The cache owns the backend and
+	// flushes it on Close.
+	var resultCache *service.Cache
+	if *storeDir != "" {
+		disk, err := store.OpenDisk(*storeDir, store.DiskOptions{MaxBytes: *storeMax})
+		if err != nil {
+			return err
+		}
+		tiered, err := store.NewTiered[*service.Report](*cache, disk, service.ReportCodec())
+		if err != nil {
+			disk.Close()
+			return err
+		}
+		if resultCache, err = service.NewCacheWithStore(tiered); err != nil {
+			tiered.Close()
+			return err
+		}
+		logger.Printf("persistent store: dir=%s max-bytes=%d warm keys=%d", *storeDir, *storeMax, disk.Len())
+	} else {
+		if resultCache, err = service.NewCache(*cache); err != nil {
+			return err
+		}
 	}
+	// Closed last: scheduler drain can still fill the cache, and the
+	// close flushes pending spills to disk.
+	defer resultCache.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

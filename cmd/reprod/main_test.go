@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -201,5 +202,106 @@ func TestDaemonFlagValidation(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
 		t.Error("bad addr accepted")
+	}
+}
+
+// TestDaemonRestartDurability is the acceptance scenario for the
+// tiered persistent store: compute a spec against -store-dir, stop
+// the daemon, start a fresh one on the same directory, and the same
+// request must answer "cached":true with a bit-identical report — the
+// corpus of finished results survives the restart.
+func TestDaemonRestartDurability(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	body := `{"n": 5000, "qualities": [0.9, 0.6, 0.5], "beta": 0.7, "steps": 400, "seed": 17}`
+	simulate := func(base string) (bool, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate status %d (%s)", resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		cached, _ := out["cached"].(bool)
+		delete(out, "cached")
+		return cached, out
+	}
+
+	base, stop := startDaemon(t, "-store-dir", dir)
+	cached, first := simulate(base)
+	if cached {
+		t.Fatal("fresh store answered cached:true")
+	}
+	// Stop flushes pending spills and fsyncs the segment log.
+	if err := stop(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	base2, _ := startDaemon(t, "-store-dir", dir)
+	cached, second := simulate(base2)
+	if !cached {
+		t.Fatal("warm-started daemon recomputed: cached=false after restart")
+	}
+	// Bit-identical: every field, including each float64 of the
+	// popularity vector, round-trips exactly through the disk tier.
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("report changed across restart:\nfirst:  %v\nsecond: %v", first, second)
+	}
+
+	// The warm hit is visible as a disk-tier hit in /statsz.
+	resp, err := http.Get(base2 + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cache struct {
+			Hits  uint64 `json:"hits"`
+			Tiers struct {
+				DiskHits   uint64 `json:"disk_hits"`
+				Promotions uint64 `json:"promotions"`
+				DiskBytes  int64  `json:"disk_bytes"`
+			} `json:"tiers"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Tiers.DiskHits != 1 || stats.Cache.Tiers.Promotions != 1 {
+		t.Errorf("statsz after warm hit: %s", raw)
+	}
+	if stats.Cache.Tiers.DiskBytes == 0 {
+		t.Errorf("no bytes on disk reported: %s", raw)
+	}
+
+	// And the promoted entry now hits the memory tier.
+	if cached, _ := simulate(base2); !cached {
+		t.Error("promoted entry missed")
+	}
+}
+
+// TestDaemonStoreFlagValidation rejects a negative byte budget.
+func TestDaemonStoreFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-store-dir", t.TempDir(), "-store-max-bytes", "-1"}, io.Discard, nil); err == nil {
+		t.Error("store-max-bytes=-1 accepted")
 	}
 }

@@ -15,11 +15,12 @@
 // per-request work and topology-edge bounds, never materializing a
 // group or graph — and hashes deterministically to a cache key, a
 // bounded sharded job scheduler with admission control, per-job
-// cancellation, and a server-side job timeout, an LRU result cache
-// with single-flight deduplication, and net/http handlers
-// (synchronous POST /v1/simulate, batched POST /v1/sweep,
-// asynchronous POST /v1/jobs + GET /v1/jobs/{id}, NDJSON trace
-// streaming, /healthz, /statsz). Parameter sweeps — the paper's
+// cancellation, and a server-side job timeout, a result cache with
+// single-flight deduplication over a pluggable storage backend, and
+// net/http handlers (synchronous POST /v1/simulate, batched
+// POST /v1/sweep, asynchronous POST /v1/jobs + GET /v1/jobs/{id},
+// NDJSON trace streaming — incremental while the job is still
+// running — /healthz, /statsz). Parameter sweeps — the paper's
 // native workload — run batched: a SweepSpec names one shared
 // (qualities, β, µ) family plus per-variant (n, engine, steps, seed)
 // axes, is admitted as one job whose work charge is the summed
@@ -28,11 +29,24 @@
 // (variant, replication) tasks across a bounded worker group; the
 // scheduler also coalesces concurrently queued single specs that
 // share a family into the same vectorized path, bit-identical to
-// running each spec alone. cmd/reprod is the daemon binary:
+// running each spec alone.
 //
-//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024
+// Result storage lives in internal/store, tiered behind the
+// service.Cache seam: store.Memory is the in-proc LRU, store.Disk a
+// crash-safe append-only segment log (per-record CRC32, torn tails
+// truncated on open, batched fsyncs, a byte budget enforced by
+// segment-granularity compaction/eviction), and store.Tiered the
+// combination — memory front, disk behind, read-through promotion,
+// write-behind spill. cmd/reprod is the daemon binary; with
+// -store-dir set it warm-starts from the segment log, answering
+// previously computed specs "cached":true across restarts:
+//
+//	reprod -addr :8080 -workers 8 -queue 64 -cache 1024 \
+//	  -store-dir /var/lib/reprod -store-max-bytes 1073741824
 //	curl -s localhost:8080/v1/simulate -d \
 //	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+//	# → {"cached":false, ...}; repeat after a daemon restart:
+//	# → {"cached":true, ...} — the same report, served from disk
 //	curl -s localhost:8080/v1/sweep -d '{
 //	  "family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
 //	  "variants": [{"n": 1000, "steps": 1000, "seed": 1},

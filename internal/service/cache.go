@@ -1,30 +1,29 @@
 package service
 
 import (
-	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/store"
 )
 
-// Cache is an LRU result cache keyed by spec hash, with single-flight
-// deduplication: concurrent Do calls for one key run compute exactly
-// once and share the outcome. Capacity 0 disables storage but keeps
-// the deduplication.
+// Cache is the serving layer's result cache keyed by spec hash, with
+// single-flight deduplication: concurrent Do calls for one key run
+// compute exactly once and share the outcome. Storage is delegated to
+// a pluggable store.Store — an in-process LRU by default, or a tiered
+// memory+disk store (see NewCacheWithStore) that survives restarts —
+// while the single-flight machinery and request accounting live here,
+// so every backend sees the same dedup semantics. Capacity 0 with the
+// default backend disables storage but keeps the deduplication.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	flights  map[string]*flight
+	mu      sync.Mutex
+	backend store.Store[*Report]
+	flights map[string]*flight
 
-	hits, misses, waits, evictions uint64
-}
-
-type cacheEntry struct {
-	key    string
-	report *Report
+	hits, misses, waits uint64
 }
 
 // flight is one in-progress computation; done closes when report/err
@@ -39,7 +38,8 @@ type flight struct {
 type CacheStats struct {
 	Capacity int `json:"capacity"`
 	Size     int `json:"size"`
-	// Hits counts Do calls answered from the stored LRU.
+	// Hits counts Do calls answered from the backing store (either
+	// tier).
 	Hits uint64 `json:"hits"`
 	// Misses counts Do calls that started a computation.
 	Misses uint64 `json:"misses"`
@@ -50,32 +50,74 @@ type CacheStats struct {
 	// HitRate is (Hits+Waits) / (Hits+Waits+Misses), the fraction of
 	// requests that did not pay for a simulation.
 	HitRate float64 `json:"hit_rate"`
+	// Tiers breaks storage traffic down by tier: memory vs disk hits,
+	// promotions, spills, compactions, bytes on disk.
+	Tiers store.Stats `json:"tiers"`
 }
 
-// NewCache builds a cache holding up to capacity reports (capacity ≥
-// 0).
+// reportCodec is the canonical byte encoding persisted by the disk
+// tier. Report is plain JSON of ints and float64s; Go's shortest
+// round-trip float encoding makes Decode(Encode(r)) value-identical
+// to r, which is what the restart-durability guarantee needs.
+type reportCodec struct{}
+
+// Encode marshals the report canonically.
+func (reportCodec) Encode(r *Report) ([]byte, error) { return json.Marshal(r) }
+
+// Decode reverses Encode.
+func (reportCodec) Decode(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReportCodec returns the canonical Report codec for building a
+// store.Tiered backend outside this package (cmd/reprod).
+func ReportCodec() store.Codec[*Report] { return reportCodec{} }
+
+// NewCache builds a cache over an in-process LRU holding up to
+// capacity reports (capacity ≥ 0).
 func NewCache(capacity int) (*Cache, error) {
 	if capacity < 0 {
 		return nil, fmt.Errorf("%w: cache capacity=%d", ErrBadSpec, capacity)
 	}
+	mem, err := store.NewMemory[*Report](capacity)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return NewCacheWithStore(mem)
+}
+
+// NewCacheWithStore builds a cache over an arbitrary storage backend
+// (e.g. a store.Tiered for persistence across restarts). The cache
+// owns the backend from here on: Cache.Close closes it.
+func NewCacheWithStore(backend store.Store[*Report]) (*Cache, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("%w: nil cache store", ErrBadSpec)
+	}
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		flights:  make(map[string]*flight),
+		backend: backend,
+		flights: make(map[string]*flight),
 	}, nil
 }
 
 // Get returns the stored report for key, bumping its recency.
 func (c *Cache) Get(key string) (*Report, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
+	return c.backend.Get(key)
+}
+
+// lookup checks the backend under c.mu and counts a Do-level hit.
+// Holding c.mu across the backend call keeps the hit-or-flight
+// decision atomic; a disk-tier read inside is a page-cached pread,
+// microseconds against the milliseconds a simulation costs.
+func (c *Cache) lookup(key string) (*Report, bool) {
+	report, ok := c.backend.Get(key)
+	if ok {
+		c.hits++
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).report, true
+	return report, ok
 }
 
 // Do returns the cached report for key, or arranges for compute to run
@@ -95,11 +137,9 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, err
 	retried := false
 	for {
 		c.mu.Lock()
-		if el, ok := c.items[key]; ok {
-			c.ll.MoveToFront(el)
-			c.hits++
+		if report, ok := c.lookup(key); ok {
 			c.mu.Unlock()
-			return el.Value.(*cacheEntry).report, true, nil
+			return report, true, nil
 		}
 		f, inFlight := c.flights[key]
 		if inFlight {
@@ -142,7 +182,7 @@ func (c *Cache) publish(key string, f *flight, report *Report, err error) {
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil && report != nil {
-		c.store(key, report)
+		c.backend.Put(key, report)
 	}
 	c.mu.Unlock()
 	f.report = report
@@ -168,10 +208,8 @@ func (c *Cache) publish(key string, f *flight, report *Report, err error) {
 func (c *Cache) Acquire(key string) (report *Report, publish func(*Report, error), wait func(context.Context) (*Report, error)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).report, nil, nil
+	if report, ok := c.lookup(key); ok {
+		return report, nil, nil
 	}
 	if f, inFlight := c.flights[key]; inFlight {
 		c.waits++
@@ -190,59 +228,50 @@ func (c *Cache) Acquire(key string) (report *Report, publish func(*Report, error
 	return nil, func(report *Report, err error) { c.publish(key, f, report, err) }, nil
 }
 
-// store inserts under c.mu, evicting the least-recently-used entries
-// over capacity.
-func (c *Cache) store(key string, report *Report) {
-	if c.capacity == 0 {
-		return
-	}
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).report = report
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, report: report})
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
-}
-
 // Put stores a report computed outside a Do flight (the sweep path
 // fills each variant's single-spec cache entry this way, so later
-// /v1/simulate requests for the same spec hit).
+// /v1/simulate requests for the same spec hit — including, with a
+// persistent backend, after a restart).
 func (c *Cache) Put(key string, report *Report) {
 	if report == nil {
 		return
 	}
 	c.mu.Lock()
-	c.store(key, report)
+	c.backend.Put(key, report)
 	c.mu.Unlock()
 }
 
 // Len returns the number of stored reports.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.backend.Len()
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
+	tiers := c.backend.Stats()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheStats{
-		Capacity:  c.capacity,
-		Size:      c.ll.Len(),
+		Capacity:  tiers.MemCapacity,
+		Size:      tiers.MemLen,
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Waits:     c.waits,
-		Evictions: c.evictions,
+		Evictions: tiers.MemEvictions,
+		Tiers:     tiers,
+	}
+	if tiers.DiskLen > s.Size {
+		s.Size = tiers.DiskLen
 	}
 	if total := s.Hits + s.Waits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits+s.Waits) / float64(total)
 	}
 	return s
+}
+
+// Close closes the storage backend (flushing a persistent tier's
+// pending writes). The single-flight machinery stays usable, but with
+// a closed persistent backend new results are no longer stored.
+func (c *Cache) Close() error {
+	return c.backend.Close()
 }

@@ -382,10 +382,24 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 // inside this budget on an unloaded machine.
 const cancelSettleBudget = 500 * time.Millisecond
 
+// cancelResponse is the DELETE /v1/jobs/{id} payload: the job view
+// plus an explicit statement of whether this job ended up canceled.
+// Without it, a DELETE that raced the job's completion is ambiguous —
+// the client cannot tell "my cancel landed" from "the job finished
+// first and here is its result".
+type cancelResponse struct {
+	// Canceled is true only when the job reached the canceled state.
+	// A job that completed (or failed) before the cancel could land
+	// answers canceled=false with its terminal result intact.
+	Canceled bool `json:"canceled"`
+	jobResponse
+}
+
 // handleCancelJob cancels the job and reports its post-cancel state —
 // not the racy pre-cancel snapshot: the response is either terminal
-// (usually "canceled"; "done"/"failed" if the job beat the cancel) or
-// carries cancel_requested while a running job drains.
+// (usually "canceled"; "done"/"failed", with canceled=false and the
+// terminal result, if the job beat the cancel) or carries
+// cancel_requested while a running job drains.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookupJob(w, r)
 	if !ok {
@@ -395,9 +409,23 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	settle, cancel := context.WithTimeout(r.Context(), cancelSettleBudget)
 	defer cancel()
 	_ = job.Wait(settle) // on timeout the view below says cancel_requested
-	writeJSON(w, http.StatusOK, jobView(job))
+	view := jobView(job)
+	writeJSON(w, http.StatusOK, cancelResponse{
+		Canceled:    view.Status == JobCanceled,
+		jobResponse: view,
+	})
 }
 
+// traceStreamPoll paces the live-trace stream's polls between row
+// batches; job completion and client disconnect interrupt it.
+const traceStreamPoll = 15 * time.Millisecond
+
+// handleTrace serves a job's trajectory as NDJSON. A completed job's
+// trace arrives in one write with X-Trace-Rows set; a queued or
+// running job with trace_every > 0 is streamed incrementally — rows
+// are flushed as the simulation records them, so a client tails the
+// trajectory while the job is still running and the stream ends when
+// the job does.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookupJob(w, r)
 	if !ok {
@@ -405,25 +433,70 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	switch job.Status() {
 	case JobDone:
-	case JobQueued, JobRunning:
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("service: job %s is %s; trace is available once done", job.ID(), job.Status()))
+		rec := job.Trace()
+		if rec == nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("service: job %s recorded no trace; submit with trace_every > 0", job.ID()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Rows", strconv.Itoa(rec.Len()))
+		w.WriteHeader(http.StatusOK)
+		_ = rec.WriteNDJSON(w) // mid-stream failure means the client left
 		return
+	case JobQueued, JobRunning:
 	default:
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("service: job %s is %s and has no trace", job.ID(), job.Status()))
 		return
 	}
-	rec := job.Trace()
-	if rec == nil {
+	if !job.TraceRequested() {
 		writeError(w, http.StatusNotFound,
-			fmt.Errorf("service: job %s recorded no trace; submit with trace_every > 0", job.ID()))
+			fmt.Errorf("service: job %s records no trace; submit with trace_every > 0", job.ID()))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Trace-Rows", strconv.Itoa(rec.Len()))
 	w.WriteHeader(http.StatusOK)
-	_ = rec.WriteNDJSON(w) // mid-stream failure means the client left
+	flusher, _ := w.(http.Flusher)
+	next := 0
+	// drain writes every row recorded since the last call; a write
+	// error means the client hung up.
+	drain := func() bool {
+		rec := job.LiveTrace()
+		if rec == nil {
+			return true
+		}
+		n, err := rec.WriteNDJSONFrom(w, next)
+		next += n
+		if err != nil {
+			return false
+		}
+		if n > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		if !drain() {
+			return
+		}
+		switch job.Status() {
+		case JobDone, JobFailed, JobCanceled:
+			// Rows recorded between the drain above and the terminal
+			// transition are flushed by one final pass; after the
+			// transition nothing records anymore.
+			_ = drain()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.done:
+			// Loop once more: drain the remainder, observe the
+			// terminal state, and finish the stream.
+		case <-time.After(traceStreamPoll):
+		}
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -664,3 +664,176 @@ func TestSimulateJobTimeoutResponds504(t *testing.T) {
 		t.Fatalf("post-timeout status = %d (%s), want 200", resp.StatusCode, raw)
 	}
 }
+
+// TestTraceStreamsWhileRunning is the regression test for the trace
+// endpoint blocking (409) until completion: a running job's rows must
+// arrive over GET /v1/jobs/{id}/trace incrementally, with the first
+// lines readable while the job is still running, and the stream must
+// end cleanly when the job does.
+func TestTraceStreamsWhileRunning(t *testing.T) {
+	t.Parallel()
+
+	ts, sched, _ := testServer(t, SchedulerConfig{Workers: 1, QueueDepth: 2}, 4)
+	// A deliberately long job (~seconds of simulated work) tracing
+	// every 1000 steps, so early rows exist milliseconds in while the
+	// job keeps running long after.
+	body := `{"n": 1000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 40000000, "seed": 41, "trace_every": 1000}`
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d (%s)", resp.StatusCode, raw)
+	}
+	var submitted jobResponse
+	if err := json.Unmarshal(raw, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	job, err := sched.Job(submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Cancel()
+
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + submitted.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d, want 200 while running", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(tresp.Body)
+	var ts0 []float64
+	for len(ts0) < 3 && sc.Scan() {
+		var row map[string]float64
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("trace line: %v (%s)", err, sc.Text())
+		}
+		ts0 = append(ts0, row["t"])
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts0) < 3 {
+		t.Fatal("stream ended before delivering early rows")
+	}
+	// The load-bearing assertion: rows arrived while the job was
+	// still running, i.e. the stream is incremental, not post-hoc.
+	if st := job.Status(); st != JobRunning {
+		t.Fatalf("job already %s after first rows; cannot prove streaming", st)
+	}
+	for i, want := range []float64{1, 1001, 2001} {
+		if ts0[i] != want {
+			t.Errorf("row %d t=%v, want %v", i, ts0[i], want)
+		}
+	}
+
+	// Cancel the job; the stream must terminate rather than hang.
+	job.Cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("trace stream did not end after job terminated")
+	}
+}
+
+// TestTraceStreamTracelessRunning404s: a running job that did not ask
+// for a trace answers 404 immediately instead of streaming nothing.
+func TestTraceStreamTracelessRunning404s(t *testing.T) {
+	t.Parallel()
+
+	ts, sched, _ := testServer(t, SchedulerConfig{Workers: 1, QueueDepth: 2}, 4)
+	body := `{"n": 1000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 40000000, "seed": 43}`
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d (%s)", resp.StatusCode, raw)
+	}
+	var submitted jobResponse
+	if err := json.Unmarshal(raw, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	job, err := sched.Job(submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Cancel()
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+submitted.ID+"/trace", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("traceless running job trace status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCancelCompletedJobUnambiguous is the regression test for DELETE
+// on an already-completed job: the response must present the terminal
+// result state with an explicit "canceled": false — not a view the
+// client could read as a successful cancellation.
+func TestCancelCompletedJobUnambiguous(t *testing.T) {
+	t.Parallel()
+
+	ts, _, _ := testServer(t, SchedulerConfig{Workers: 2, QueueDepth: 8}, 4)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", `{"n": 500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 100, "seed": 51}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d (%s)", resp.StatusCode, raw)
+	}
+	var submitted jobResponse
+	if err := json.Unmarshal(raw, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var got jobResponse
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+submitted.ID, &got)
+		if got.Status == JobDone || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Status != JobDone {
+		t.Fatalf("job stuck in %s", got.Status)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+submitted.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	body, err := io.ReadAll(dresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d (%s)", dresp.StatusCode, body)
+	}
+	var out struct {
+		Canceled        *bool     `json:"canceled"`
+		Status          JobStatus `json:"status"`
+		CancelRequested bool      `json:"cancel_requested"`
+		Report          *Report   `json:"report"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Canceled == nil {
+		t.Fatalf("DELETE response lacks explicit \"canceled\" field: %s", body)
+	}
+	if *out.Canceled {
+		t.Errorf("completed job reported canceled=true: %s", body)
+	}
+	if out.Status != JobDone || out.CancelRequested {
+		t.Errorf("DELETE view status=%s cancel_requested=%v, want done/false", out.Status, out.CancelRequested)
+	}
+	if out.Report == nil {
+		t.Errorf("terminal result state missing from DELETE response: %s", body)
+	}
+}

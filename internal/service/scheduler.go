@@ -109,10 +109,14 @@ type Job struct {
 	report   *Report
 	reports  []*Report
 	trace    *trace.Recorder
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// liveTrace is the recorder runSpec is currently filling, set as
+	// soon as the running job creates it so GET /trace can stream
+	// rows before the job finishes.
+	liveTrace *trace.Recorder
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // ID returns the job identifier.
@@ -150,6 +154,32 @@ func (j *Job) Trace() *trace.Recorder {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.trace
+}
+
+// LiveTrace returns the recorder a running job is filling (nil until
+// the job starts recording, and for jobs without a trace). The
+// recorder is safe to read concurrently while the job records into
+// it.
+func (j *Job) LiveTrace() *trace.Recorder {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace != nil {
+		return j.trace
+	}
+	return j.liveTrace
+}
+
+// setLiveTrace publishes the in-progress recorder.
+func (j *Job) setLiveTrace(rec *trace.Recorder) {
+	j.mu.Lock()
+	j.liveTrace = rec
+	j.mu.Unlock()
+}
+
+// TraceRequested reports whether this job records a trajectory at
+// all (sweep jobs never do).
+func (j *Job) TraceRequested() bool {
+	return j.sweep == nil && j.spec.TraceEvery > 0
 }
 
 // Err returns the terminal error (nil unless the job failed or was
@@ -678,7 +708,7 @@ func (s *Scheduler) execute(job *Job) {
 		s.running.Add(-1)
 		return
 	}
-	report, rec, err := runSpec(ctx, &job.spec, job.hash)
+	report, rec, err := runSpec(ctx, &job.spec, job.hash, job.setLiveTrace)
 	s.running.Add(-1)
 	s.settle(job, report, rec, s.rewriteTimeout(ctx, err))
 }
@@ -835,7 +865,9 @@ func (s *Scheduler) retire(job *Job) {
 // steps. Replication r seeds with experiment.SeedFor(spec.Seed, r), so
 // replication 0 reproduces core.New(coreConfig(spec.Seed)).Run(Steps)
 // step for step, and the whole job is deterministic in the spec alone.
-func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Recorder, error) {
+// onTrace, when non-nil, is called with the trace recorder as soon as
+// it exists, so the serving layer can stream rows while the job runs.
+func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
 	var regrets stats.Summary
 	var rewardMean, bestQ float64
 	var popSum []float64
@@ -859,6 +891,9 @@ func runSpec(ctx context.Context, spec *Spec, hash string) (*Report, *trace.Reco
 				return nil, nil, err
 			}
 			row = make([]float64, 2+m)
+			if onTrace != nil {
+				onTrace(repRec)
+			}
 		}
 		avg, err := runGroup(ctx, g, spec.Steps, checkEvery, repRec, row)
 		if err != nil {

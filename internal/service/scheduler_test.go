@@ -360,7 +360,7 @@ func TestRunSpecTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, rec, err := runSpec(context.Background(), &spec, hash)
+	report, rec, err := runSpec(context.Background(), &spec, hash, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 // Package service turns the simulation library into a long-running
 // serving subsystem: a JSON Spec that hashes deterministically to a
-// cache key, a bounded sharded scheduler with admission control, an
-// LRU result cache with single-flight deduplication, and net/http
-// handlers (sync, async jobs, NDJSON trace streaming, health and
-// stats). cmd/reprod is the daemon binary wiring it together.
+// cache key, a bounded sharded scheduler with admission control, a
+// result cache with single-flight deduplication over a pluggable
+// storage backend (in-proc LRU, or internal/store's tiered
+// memory+disk store for persistence across restarts), and net/http
+// handlers (sync, async jobs, NDJSON trace streaming — incremental
+// for running jobs — health and stats). cmd/reprod is the daemon
+// binary wiring it together.
 package service
 
 import (

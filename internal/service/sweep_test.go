@@ -177,7 +177,7 @@ func TestSubmitSweepMatchesRunSpec(t *testing.T) {
 		if err := spec.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		want, _, err := runSpec(context.Background(), &spec, hashes[i])
+		want, _, err := runSpec(context.Background(), &spec, hashes[i], nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestSchedulerCoalescesQueuedFamily(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _, err := runSpec(context.Background(), &spec, hash)
+		want, _, err := runSpec(context.Background(), &spec, hash, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -345,7 +345,7 @@ func TestSchedulerCoalesceRespectsFamilies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _, err := runSpec(context.Background(), &spec, hash)
+		want, _, err := runSpec(context.Background(), &spec, hash, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Memory is a bounded LRU store: the hot tier of Tiered, and the
+// whole store when no disk backend is configured. Capacity 0 stores
+// nothing (every Get misses), matching the serving layer's
+// "single-flight only" cache mode.
+type Memory[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, evictions uint64
+}
+
+type memEntry[V any] struct {
+	key   string
+	value V
+}
+
+// NewMemory builds an LRU holding up to capacity values (capacity ≥ 0).
+func NewMemory[V any](capacity int) (*Memory[V], error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("%w: memory capacity=%d", ErrBadStore, capacity)
+	}
+	return &Memory[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the stored value for key, bumping its recency.
+func (m *Memory[V]) Get(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	m.ll.MoveToFront(el)
+	m.hits++
+	return el.Value.(*memEntry[V]).value, true
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used
+// entries over capacity.
+func (m *Memory[V]) Put(key string, value V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.capacity == 0 {
+		return
+	}
+	if el, ok := m.items[key]; ok {
+		el.Value.(*memEntry[V]).value = value
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memEntry[V]{key: key, value: value})
+	for m.ll.Len() > m.capacity {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.items, oldest.Value.(*memEntry[V]).key)
+		m.evictions++
+	}
+}
+
+// Len returns the number of stored values.
+func (m *Memory[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (m *Memory[V]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		MemCapacity:  m.capacity,
+		MemLen:       m.ll.Len(),
+		MemHits:      m.hits,
+		MemEvictions: m.evictions,
+	}
+}
+
+// Close releases nothing; Memory holds no external resources.
+func (m *Memory[V]) Close() error { return nil }

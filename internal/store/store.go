@@ -1,0 +1,85 @@
+// Package store provides the pluggable result-store tiers behind
+// internal/service's cache seam: Memory (an in-process LRU), Disk (a
+// crash-safe append-only segment log), and Tiered (memory front, disk
+// behind, with read-through promotion and write-behind spill). The
+// serving layer keeps single-flight deduplication and request
+// accounting in service.Cache and delegates storage here, so swapping
+// the in-proc LRU for a persistent tier does not touch the request
+// path.
+package store
+
+import "errors"
+
+// ErrBadStore reports invalid store construction or usage.
+var ErrBadStore = errors.New("store: bad configuration")
+
+// Store is the storage seam: a key-value cache of computed results.
+// Implementations are safe for concurrent use. Get returns the value
+// and whether it was present; a storage-layer read failure is treated
+// as a miss (and surfaced through Stats), never as a request error —
+// the caller can always recompute. Put is best-effort durable:
+// persistent tiers batch fsyncs and spill asynchronously, so a crash
+// may lose the most recent writes but never corrupts what was already
+// synced.
+type Store[V any] interface {
+	Get(key string) (V, bool)
+	Put(key string, value V)
+	Len() int
+	Stats() Stats
+	Close() error
+}
+
+// Codec converts values to and from the canonical byte encoding the
+// disk tier persists. Decode(Encode(v)) must reproduce v exactly: the
+// serving layer's restart-durability guarantee (a warm-started server
+// answers with a bit-identical report) rides on it.
+type Codec[V any] interface {
+	Encode(V) ([]byte, error)
+	Decode([]byte) (V, error)
+}
+
+// Stats is a point-in-time snapshot of one store's counters, labelled
+// by tier so /statsz can attribute traffic. Single-tier stores fill
+// only their own fields; Tiered aggregates its two tiers and adds the
+// movement counters (promotions, spills).
+type Stats struct {
+	// MemCapacity and MemLen describe the memory tier (for Memory
+	// itself, the whole store).
+	MemCapacity int `json:"mem_capacity"`
+	MemLen      int `json:"mem_len"`
+	// MemHits counts Gets answered by the memory tier; MemEvictions
+	// counts LRU evictions from it.
+	MemHits      uint64 `json:"mem_hits"`
+	MemEvictions uint64 `json:"mem_evictions"`
+
+	// DiskLen is the number of live keys in the disk index; DiskHits
+	// counts Gets answered from disk.
+	DiskLen  int    `json:"disk_len,omitempty"`
+	DiskHits uint64 `json:"disk_hits,omitempty"`
+	// DiskBytes is the total size of all segment files on disk;
+	// DiskSegments is how many there are.
+	DiskBytes    int64 `json:"disk_bytes,omitempty"`
+	DiskSegments int   `json:"disk_segments,omitempty"`
+	// Compactions counts segment GC passes that rewrote live records;
+	// SegmentsDropped counts segments deleted by GC (compacted or
+	// evicted wholesale); DiskEvictions counts live keys dropped when
+	// a mostly-live victim segment was evicted to meet the byte
+	// budget.
+	Compactions     uint64 `json:"compactions,omitempty"`
+	SegmentsDropped uint64 `json:"segments_dropped,omitempty"`
+	DiskEvictions   uint64 `json:"disk_evictions,omitempty"`
+	// ReadErrors counts disk reads that failed verification (I/O
+	// error or CRC mismatch) and were served as misses.
+	ReadErrors uint64 `json:"read_errors,omitempty"`
+	// TruncatedRecords counts torn or corrupt tail records dropped
+	// while rebuilding the index on open.
+	TruncatedRecords uint64 `json:"truncated_records,omitempty"`
+
+	// Promotions counts disk hits copied forward into the memory
+	// tier; Spills counts writes persisted to the disk tier behind a
+	// memory Put; SpillErrors counts spills that failed to encode or
+	// append (the memory tier still holds the value).
+	Promotions  uint64 `json:"promotions,omitempty"`
+	Spills      uint64 `json:"spills,omitempty"`
+	SpillErrors uint64 `json:"spill_errors,omitempty"`
+}

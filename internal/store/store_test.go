@@ -1,0 +1,404 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryLRU(t *testing.T) {
+	t.Parallel()
+	m, err := NewMemory[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if _, ok := m.Get("a"); !ok { // bump a's recency
+		t.Fatal("a missing")
+	}
+	m.Put("c", 3) // evicts b, the least recently used
+	if _, ok := m.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %d, %v", v, ok)
+	}
+	if v, ok := m.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %d, %v", v, ok)
+	}
+	st := m.Stats()
+	if st.MemEvictions != 1 || st.MemLen != 2 || st.MemCapacity != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if _, err := NewMemory[int](-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestMemoryZeroCapacity(t *testing.T) {
+	t.Parallel()
+	m, err := NewMemory[int](0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put("a", 1)
+	if _, ok := m.Get("a"); ok {
+		t.Error("zero-capacity memory stored a value")
+	}
+	if m.Len() != 0 {
+		t.Error("non-empty")
+	}
+}
+
+// syncDisk opens a disk store that fsyncs every Put, so tests see
+// durable state without sleeping for the flush interval.
+func syncDisk(t *testing.T, dir string, maxBytes int64) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, DiskOptions{MaxBytes: maxBytes, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d
+}
+
+func TestDiskPutGetReopen(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	d := syncDisk(t, dir, 0)
+	want := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		val := []byte(fmt.Sprintf("value-%d-%s", i, string(make([]byte, i))))
+		d.Put(key, val)
+		want[key] = val
+	}
+	// Overwrite some keys; the newest record must win after reopen.
+	d.Put("key-007", []byte("rewritten"))
+	want["key-007"] = []byte("rewritten")
+
+	check := func(d *Disk) {
+		t.Helper()
+		if d.Len() != len(want) {
+			t.Fatalf("len=%d want %d", d.Len(), len(want))
+		}
+		for key, val := range want {
+			got, ok := d.Get(key)
+			if !ok || !bytes.Equal(got, val) {
+				t.Fatalf("Get(%s) = %q, %v; want %q", key, got, ok, val)
+			}
+		}
+	}
+	check(d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(syncDisk(t, dir, 0))
+}
+
+// TestDiskCrashRecoveryTornTail is the crash-safety regression the
+// subsystem is built around: N results land on disk, the process
+// "crashes" mid-append (simulated by truncating the last segment
+// inside the final record), and the reopened store must serve the
+// intact prefix while dropping — not trusting — the torn tail.
+func TestDiskCrashRecoveryTornTail(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	d := syncDisk(t, dir, 0)
+	const n = 20
+	var keys []string
+	recSize := func(key, val string) int64 {
+		return int64(recordHeaderSize + len(key) + len(val))
+	}
+	var lastKey, lastVal string
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("spec-%04d", i)
+		val := fmt.Sprintf(`{"regret":%d.5,"popularity":[0.9,0.1]}`, i)
+		d.Put(key, []byte(val))
+		keys = append(keys, key)
+		lastKey, lastVal = key, val
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop into the middle of the last record's value.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := info.Size() - recSize(lastKey, lastVal)/2
+	if err := os.Truncate(last, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	re := syncDisk(t, dir, 0)
+	if re.Len() != n-1 {
+		t.Fatalf("reopened len=%d, want %d (torn tail dropped)", re.Len(), n-1)
+	}
+	for _, key := range keys[:n-1] {
+		if _, ok := re.Get(key); !ok {
+			t.Errorf("intact record %s lost", key)
+		}
+	}
+	if _, ok := re.Get(lastKey); ok {
+		t.Errorf("torn record %s served", lastKey)
+	}
+	st := re.Stats()
+	if st.TruncatedRecords == 0 {
+		t.Errorf("truncation not counted: %+v", st)
+	}
+	// The store must keep working after recovery: the torn key can be
+	// rewritten and survives another reopen.
+	re.Put(lastKey, []byte(lastVal))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := syncDisk(t, dir, 0)
+	if got, ok := re2.Get(lastKey); !ok || string(got) != lastVal {
+		t.Fatalf("rewritten key after recovery: %q, %v", got, ok)
+	}
+	if re2.Len() != n {
+		t.Fatalf("post-recovery len=%d, want %d", re2.Len(), n)
+	}
+}
+
+// TestDiskCorruptTail flips a byte in the last record (same length,
+// bad CRC) and checks the reopened index drops exactly that record.
+func TestDiskCorruptTail(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	d := syncDisk(t, dir, 0)
+	d.Put("good", []byte("kept"))
+	d.Put("bad", []byte("flipped"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	raw, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(segs[len(segs)-1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := syncDisk(t, dir, 0)
+	if _, ok := re.Get("bad"); ok {
+		t.Error("corrupt record served")
+	}
+	if v, ok := re.Get("good"); !ok || string(v) != "kept" {
+		t.Errorf("intact record: %q, %v", v, ok)
+	}
+}
+
+// TestDiskGCBudget drives the log far past its byte budget and checks
+// segment-granularity GC holds the size down while the newest entries
+// stay readable.
+func TestDiskGCBudget(t *testing.T) {
+	t.Parallel()
+	const maxBytes = 64 << 10
+	d, err := OpenDisk(t.TempDir(), DiskOptions{
+		MaxBytes:        maxBytes,
+		SegmentMaxBytes: 8 << 10,
+		FlushInterval:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	val := make([]byte, 512)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Put(fmt.Sprintf("key-%05d", i), val)
+	}
+	st := d.Stats()
+	// After GC settles the log may exceed the budget by at most one
+	// in-progress segment.
+	if st.DiskBytes > maxBytes+(8<<10) {
+		t.Errorf("disk bytes %d way over budget %d: %+v", st.DiskBytes, maxBytes, st)
+	}
+	if st.SegmentsDropped == 0 {
+		t.Errorf("no segments dropped: %+v", st)
+	}
+	if st.DiskLen == 0 || st.DiskLen == n {
+		t.Errorf("disk len %d: eviction should drop old keys but keep recent ones", st.DiskLen)
+	}
+	// The newest key always survives.
+	if _, ok := d.Get(fmt.Sprintf("key-%05d", n-1)); !ok {
+		t.Error("newest key evicted")
+	}
+}
+
+// TestDiskCompactionRewritesLive overwrites most keys so old segments
+// are mostly dead, then checks GC compacts (rewrites live records)
+// rather than evicting them.
+func TestDiskCompactionRewritesLive(t *testing.T) {
+	t.Parallel()
+	d, err := OpenDisk(t.TempDir(), DiskOptions{
+		MaxBytes:        32 << 10,
+		SegmentMaxBytes: 4 << 10,
+		FlushInterval:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	val := make([]byte, 256)
+	// A small working set rewritten over and over: every segment but
+	// the newest is almost entirely dead, so GC compacts.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 16; i++ {
+			d.Put(fmt.Sprintf("key-%02d", i), val)
+		}
+	}
+	st := d.Stats()
+	if st.Compactions == 0 {
+		t.Errorf("no compactions: %+v", st)
+	}
+	if st.DiskLen != 16 {
+		t.Errorf("live keys %d, want 16: %+v", st.DiskLen, st)
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok := d.Get(fmt.Sprintf("key-%02d", i)); !ok {
+			t.Errorf("live key %d lost across compaction", i)
+		}
+	}
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) Encode(v map[string]float64) ([]byte, error) { return json.Marshal(v) }
+func (jsonCodec) Decode(b []byte) (map[string]float64, error) {
+	var v map[string]float64
+	err := json.Unmarshal(b, &v)
+	return v, err
+}
+
+func TestTieredPromotionAndSpill(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, DiskOptions{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered[map[string]float64](2, disk, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tiered.Put(fmt.Sprintf("k%d", i), map[string]float64{"v": float64(i)})
+	}
+	// Close drains the write-behind queue, so everything is durable.
+	if err := tiered.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	disk2, err := OpenDisk(dir, DiskOptions{FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered2, err := NewTiered[map[string]float64](2, disk2, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tiered2.Close()
+	// Memory tier is cold after reopen: the first Get must read
+	// through to disk and promote.
+	v, ok := tiered2.Get("k3")
+	if !ok || v["v"] != 3 {
+		t.Fatalf("cold get k3 = %v, %v", v, ok)
+	}
+	st := tiered2.Stats()
+	if st.DiskHits != 1 || st.Promotions != 1 {
+		t.Errorf("after cold get: %+v", st)
+	}
+	// The repeat is a memory hit.
+	if _, ok := tiered2.Get("k3"); !ok {
+		t.Fatal("promoted get missed")
+	}
+	st = tiered2.Stats()
+	if st.MemHits != 1 || st.DiskHits != 1 {
+		t.Errorf("after warm get: %+v", st)
+	}
+	if tiered2.Len() != 8 {
+		t.Errorf("len=%d want 8", tiered2.Len())
+	}
+}
+
+// TestTieredConcurrent hammers the tiered store from many goroutines
+// (run under -race in CI).
+func TestTieredConcurrent(t *testing.T) {
+	t.Parallel()
+	disk, err := OpenDisk(t.TempDir(), DiskOptions{MaxBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered[map[string]float64](32, disk, jsonCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				if v, ok := tiered.Get(key); ok && v["v"] < 0 {
+					t.Error("negative value")
+				}
+				tiered.Put(key, map[string]float64{"v": float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tiered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Put and Close after Close are safe no-ops.
+	tiered.Put("late", map[string]float64{"v": 1})
+	if err := tiered.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskFlushBatching checks the background flusher syncs dirty
+// data without Puts waiting on it: a put is visible immediately and
+// the dirty flag clears within a few intervals.
+func TestDiskFlushBatching(t *testing.T) {
+	t.Parallel()
+	d, err := OpenDisk(t.TempDir(), DiskOptions{FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put("k", []byte("v"))
+	if v, ok := d.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("get right after put: %q %v", v, ok)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		d.mu.Lock()
+		dirty := d.dirty
+		d.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Tiered composes a Memory front with a Disk backend: Gets read
+// through (a disk hit is decoded and promoted into the memory tier so
+// repeats stay hot), Puts write into memory immediately and spill to
+// disk behind the caller (write-behind), so neither direction puts
+// file I/O or encoding on the request hot path. The codec converts
+// between the caller's values and the canonical bytes the disk tier
+// persists.
+type Tiered[V any] struct {
+	mem   *Memory[V]
+	disk  *Disk
+	codec Codec[V]
+
+	// The write-behind queue: an unbounded slice drained by the
+	// spiller goroutine. Unbounded so Put NEVER encodes or touches
+	// the disk inline — the serving cache calls Put under its own
+	// mutex, and any synchronous fallback here would serialize the
+	// whole cache behind disk I/O. The backlog's values are already
+	// pinned by the memory tier, so the extra memory is bounded in
+	// practice by how far the disk lags the put rate.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []spillReq[V]
+	closed  bool
+	drained chan struct{} // closed when the spiller has flushed and exited
+
+	promotions, spills, spillErrors atomic.Uint64
+}
+
+type spillReq[V any] struct {
+	key   string
+	value V
+}
+
+// NewTiered builds the two-tier store. memCapacity sizes the hot LRU
+// (0 keeps every read going to disk); disk and codec must be non-nil.
+func NewTiered[V any](memCapacity int, disk *Disk, codec Codec[V]) (*Tiered[V], error) {
+	if disk == nil || codec == nil {
+		return nil, fmt.Errorf("%w: tiered store needs a disk tier and a codec", ErrBadStore)
+	}
+	mem, err := NewMemory[V](memCapacity)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tiered[V]{
+		mem:     mem,
+		disk:    disk,
+		codec:   codec,
+		drained: make(chan struct{}),
+	}
+	t.qcond = sync.NewCond(&t.qmu)
+	go t.spiller()
+	return t, nil
+}
+
+// Get returns the newest value for key: memory first, then disk with
+// promotion. A disk record that fails to decode is a miss.
+func (t *Tiered[V]) Get(key string) (V, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		return v, true
+	}
+	raw, ok := t.disk.Get(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	v, err := t.codec.Decode(raw)
+	if err != nil {
+		var zero V
+		return zero, false
+	}
+	t.promotions.Add(1)
+	t.mem.Put(key, v)
+	return v, true
+}
+
+// Put stores into the memory tier immediately and queues the durable
+// spill for the background spiller. The enqueue is O(1) with no
+// encoding or I/O, so Put is safe to call on the request hot path
+// (and under the serving cache's mutex).
+func (t *Tiered[V]) Put(key string, value V) {
+	t.mem.Put(key, value)
+	t.qmu.Lock()
+	if t.closed {
+		t.qmu.Unlock()
+		t.spill(key, value) // after Close the disk tier drops this; see Close
+		return
+	}
+	t.queue = append(t.queue, spillReq[V]{key: key, value: value})
+	t.qcond.Signal()
+	t.qmu.Unlock()
+}
+
+// spiller drains the write-behind queue in batches until Close and
+// the queue is empty.
+func (t *Tiered[V]) spiller() {
+	defer close(t.drained)
+	for {
+		t.qmu.Lock()
+		for len(t.queue) == 0 && !t.closed {
+			t.qcond.Wait()
+		}
+		batch := t.queue
+		t.queue = nil
+		done := t.closed && len(batch) == 0
+		t.qmu.Unlock()
+		if done {
+			return
+		}
+		for _, req := range batch {
+			t.spill(req.key, req.value)
+		}
+	}
+}
+
+// spill encodes and persists one value.
+func (t *Tiered[V]) spill(key string, value V) {
+	raw, err := t.codec.Encode(value)
+	if err != nil {
+		t.spillErrors.Add(1)
+		return
+	}
+	t.disk.Put(key, raw)
+	t.spills.Add(1)
+}
+
+// Len counts distinct live keys across both tiers. Every memory entry
+// is also (eventually) on disk, so the disk index dominates except
+// for spills still in flight; the max of the two is the best cheap
+// answer.
+func (t *Tiered[V]) Len() int {
+	return max(t.mem.Len(), t.disk.Len())
+}
+
+// Stats merges both tiers' counters with the movement counters.
+func (t *Tiered[V]) Stats() Stats {
+	s := t.mem.Stats()
+	ds := t.disk.Stats()
+	s.DiskLen = ds.DiskLen
+	s.DiskHits = ds.DiskHits
+	s.DiskBytes = ds.DiskBytes
+	s.DiskSegments = ds.DiskSegments
+	s.Compactions = ds.Compactions
+	s.SegmentsDropped = ds.SegmentsDropped
+	s.DiskEvictions = ds.DiskEvictions
+	s.ReadErrors = ds.ReadErrors
+	s.TruncatedRecords = ds.TruncatedRecords
+	s.Promotions = t.promotions.Load()
+	s.Spills = t.spills.Load()
+	s.SpillErrors = t.spillErrors.Load()
+	return s
+}
+
+// Close drains pending spills and closes the disk tier; every write
+// queued before Close is persisted before Close returns. A Put racing
+// Close may spill against the already-closed disk tier, which drops
+// the write — the entry still lives in the memory tier, and cache
+// semantics make a lost late write safe.
+func (t *Tiered[V]) Close() error {
+	t.qmu.Lock()
+	if t.closed {
+		t.qmu.Unlock()
+		<-t.drained
+		return nil
+	}
+	t.closed = true
+	t.qcond.Broadcast()
+	t.qmu.Unlock()
+	<-t.drained
+	return t.disk.Close()
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync"
 )
 
 var (
@@ -22,8 +23,12 @@ var (
 	ErrBadTrace = errors.New("trace: bad usage")
 )
 
-// Recorder accumulates rows of a fixed-width time series.
+// Recorder accumulates rows of a fixed-width time series. It is safe
+// for one writer and any number of concurrent readers: the serving
+// layer streams a running job's rows (WriteNDJSONFrom) while the
+// simulation is still recording.
 type Recorder struct {
+	mu      sync.Mutex
 	columns []string
 	rows    [][]float64
 	every   int
@@ -61,21 +66,47 @@ func (r *Recorder) Record(values ...float64) error {
 	if len(values) != len(r.columns) {
 		return fmt.Errorf("%w: %d values for %d columns", ErrBadTrace, len(values), len(r.columns))
 	}
+	// seen is touched only by the single writer, so the downsampling
+	// early-return stays lock-free: a traced simulation pays for the
+	// mutex once per kept row, not once per step.
 	r.seen++
 	if (r.seen-1)%r.every != 0 {
 		return nil
 	}
 	row := make([]float64, len(values))
 	copy(row, values)
+	r.mu.Lock()
 	r.rows = append(r.rows, row)
+	r.mu.Unlock()
 	return nil
 }
 
 // Len returns the number of stored rows.
-func (r *Recorder) Len() int { return len(r.rows) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rows)
+}
 
 // Row returns stored row i (aliased; callers must not modify).
-func (r *Recorder) Row(i int) []float64 { return r.rows[i] }
+func (r *Recorder) Row(i int) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rows[i]
+}
+
+// snapshot returns the stored rows from index from on. The returned
+// slice aliases immutable row data: Record only ever appends fresh
+// rows, so reading the snapshot outside the lock is safe even while
+// recording continues.
+func (r *Recorder) snapshot(from int) [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from >= len(r.rows) {
+		return nil
+	}
+	return r.rows[from:len(r.rows):len(r.rows)]
+}
 
 // Column extracts one column by name.
 func (r *Recorder) Column(name string) ([]float64, error) {
@@ -89,8 +120,9 @@ func (r *Recorder) Column(name string) ([]float64, error) {
 	if idx < 0 {
 		return nil, fmt.Errorf("%w: unknown column %q", ErrBadTrace, name)
 	}
-	out := make([]float64, len(r.rows))
-	for i, row := range r.rows {
+	rows := r.snapshot(0)
+	out := make([]float64, len(rows))
+	for i, row := range rows {
 		out[i] = row[idx]
 	}
 	return out, nil
@@ -103,7 +135,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		return fmt.Errorf("trace: header: %w", err)
 	}
 	cells := make([]string, len(r.columns))
-	for _, row := range r.rows {
+	for _, row := range r.snapshot(0) {
 		for i, v := range row {
 			cells[i] = strconv.FormatFloat(v, 'g', -1, 64)
 		}
@@ -125,16 +157,27 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 // line stays valid JSON. The stream is flushed row by row, so it is
 // safe to hand w an http.ResponseWriter.
 func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	_, err := r.WriteNDJSONFrom(w, 0)
+	return err
+}
+
+// WriteNDJSONFrom writes the rows recorded from index from on (same
+// encoding as WriteNDJSON) and returns how many it wrote. Safe to
+// call repeatedly — and concurrently with Record — so a caller can
+// incrementally stream a live series: each call picks up where the
+// previous one's from+written left off.
+func (r *Recorder) WriteNDJSONFrom(w io.Writer, from int) (int, error) {
 	keys := make([][]byte, len(r.columns))
 	for i, c := range r.columns {
 		k, err := json.Marshal(c)
 		if err != nil {
-			return fmt.Errorf("trace: column %q: %w", c, err)
+			return 0, fmt.Errorf("trace: column %q: %w", c, err)
 		}
 		keys[i] = k
 	}
+	written := 0
 	var buf bytes.Buffer
-	for _, row := range r.rows {
+	for _, row := range r.snapshot(from) {
 		buf.Reset()
 		buf.WriteByte('{')
 		for i, v := range row {
@@ -151,8 +194,9 @@ func (r *Recorder) WriteNDJSON(w io.Writer) error {
 		}
 		buf.WriteString("}\n")
 		if _, err := w.Write(buf.Bytes()); err != nil {
-			return fmt.Errorf("trace: ndjson row: %w", err)
+			return written, fmt.Errorf("trace: ndjson row: %w", err)
 		}
+		written++
 	}
-	return nil
+	return written, nil
 }
