@@ -1,0 +1,273 @@
+package repro_test
+
+// BenchmarkCoreStep pins the per-step cost of the simulation hot path
+// across all four engines — the loop every saved recomputation bottoms
+// out in. Each sub-benchmark runs the current engine and the pre-change
+// legacy snapshot (legacy_bench_test.go) over the same seeded
+// trajectory, asserts the two agree bit for bit on cumulative group
+// reward (same work, same draws), and reports ns/step for both plus the
+// speedup. Two pins are enforced:
+//
+//   - agent engine  ≥ 2.0× (alias rebuild-in-place, bulk sampling,
+//     devirtualized stage-2 adoption, inlined RNG core),
+//   - aggregate engine ≥ 1.5× (sampler objects, lazy BTRS setup, no
+//     per-step validation or allocation).
+//
+// TestCoreStepAllocs pins the zero-allocation steady state of Step for
+// all four engines. CI runs the benchmarks with -benchtime 1x and
+// uploads the output as BENCH_core.json, so the repo's core perf
+// trajectory is recorded per push.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/infinite"
+	"repro/internal/netpop"
+	"repro/internal/population"
+)
+
+const (
+	coreStepMu    = 0.1
+	coreStepBeta  = 0.7
+	coreStepAlpha = 0.3
+	coreStepSeed  = 12345
+
+	coreStepAgentN     = 2048
+	coreStepAggregateN = 100_000
+	coreStepNetN       = 2048
+)
+
+func coreStepQualities(m int) []float64 {
+	q := make([]float64, m)
+	q[0] = 0.9
+	for j := 1; j < m; j++ {
+		q[j] = 0.5
+	}
+	return q
+}
+
+func coreStepRule(tb testing.TB) agent.Linear {
+	tb.Helper()
+	rule, err := agent.NewLinear(coreStepAlpha, coreStepBeta)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rule
+}
+
+func coreStepEnv(tb testing.TB, m int) *env.IIDBernoulli {
+	tb.Helper()
+	e, err := env.NewIIDBernoulli(coreStepQualities(m))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// benchPinsDisabled reports whether the speedup pins are disabled for
+// this run (REPRO_BENCH_NOPIN=1) — a profiling escape hatch so a
+// -cpuprofile run is not aborted mid-benchmark by a pin on a loaded
+// machine. CI does not set it: pins are enforced there.
+func benchPinsDisabled() bool { return os.Getenv("REPRO_BENCH_NOPIN") != "" }
+
+// stepper is the minimal surface the benchmark needs from both sides.
+type stepper interface{ Step() error }
+
+// benchEnginePair times curr and legacy over the same trajectory:
+// innerSteps per b.N iteration per side, interleaved in small
+// alternating chunks so scheduler and frequency noise lands on both
+// sides alike (the pins gate on the ratio, so fairness matters more
+// than absolute numbers). It returns the measured speedup.
+func benchEnginePair(b *testing.B, curr, legacy stepper, innerSteps int, cum func() (float64, float64)) float64 {
+	b.Helper()
+	run := func(e stepper, steps int) time.Duration {
+		start := time.Now()
+		for s := 0; s < steps; s++ {
+			if err := e.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Warm caches and let reusable buffers reach steady state.
+	run(curr, 32)
+	run(legacy, 32)
+	const chunks = 16
+	chunk := innerSteps / chunks
+	var tCurr, tLegacy time.Duration
+	ratios := make([]float64, 0, chunks*b.N)
+	for i := 0; i < b.N; i++ {
+		done := 0
+		for c := 0; c < chunks; c++ {
+			n := chunk
+			if c == chunks-1 {
+				n = innerSteps - done
+			}
+			dc := run(curr, n)
+			dl := run(legacy, n)
+			tCurr += dc
+			tLegacy += dl
+			if dc > 0 {
+				ratios = append(ratios, float64(dl)/float64(dc))
+			}
+			done += n
+		}
+	}
+	// Same seeds, same draw sequence: both sides must have walked the
+	// same trajectory, or the comparison timed different work.
+	gotCurr, gotLegacy := cum()
+	if gotCurr != gotLegacy {
+		b.Fatalf("trajectories diverged: current cumulative reward %v, legacy %v", gotCurr, gotLegacy)
+	}
+	steps := float64(b.N * innerSteps)
+	currNs := float64(tCurr.Nanoseconds()) / steps
+	legacyNs := float64(tLegacy.Nanoseconds()) / steps
+	// The pins gate on the median of the per-chunk ratios: a one-off
+	// scheduler or frequency spike skews a whole-window ratio but not
+	// the median of 16 interleaved windows.
+	sort.Float64s(ratios)
+	speedup := ratios[len(ratios)/2]
+	b.ReportMetric(currNs, "ns/step")
+	b.ReportMetric(legacyNs, "legacy_ns/step")
+	b.ReportMetric(speedup, "speedup_x")
+	return speedup
+}
+
+func BenchmarkCoreStep(b *testing.B) {
+	for _, m := range []int{3, 64} {
+		m := m
+		b.Run(fmt.Sprintf("aggregate/m=%d", m), func(b *testing.B) {
+			curr, err := population.NewAggregateEngine(population.Config{
+				N: coreStepAggregateN, Mu: coreStepMu, Rule: coreStepRule(b),
+				Env: coreStepEnv(b, m), Seed: coreStepSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			legacy := newLAggregateEngine(coreStepAggregateN, coreStepQualities(m),
+				coreStepMu, coreStepAlpha, coreStepBeta, coreStepSeed)
+			inner := 12000
+			if m == 64 {
+				inner = 1200
+			}
+			speedup := benchEnginePair(b, curr, legacy, inner, func() (float64, float64) {
+				return curr.CumulativeGroupReward(), legacy.cum
+			})
+			if speedup < 1.5 && !benchPinsDisabled() {
+				b.Fatalf("aggregate-engine speedup %.2fx below the 1.5x pin", speedup)
+			}
+		})
+		b.Run(fmt.Sprintf("agent/m=%d", m), func(b *testing.B) {
+			curr, err := population.NewAgentEngine(population.Config{
+				N: coreStepAgentN, Mu: coreStepMu, Rule: coreStepRule(b),
+				Env: coreStepEnv(b, m), Seed: coreStepSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			legacy := newLAgentEngine(coreStepAgentN, coreStepQualities(m),
+				coreStepMu, coreStepAlpha, coreStepBeta, coreStepSeed)
+			speedup := benchEnginePair(b, curr, legacy, 500, func() (float64, float64) {
+				return curr.CumulativeGroupReward(), legacy.cum
+			})
+			if speedup < 2.0 && !benchPinsDisabled() {
+				b.Fatalf("agent-engine speedup %.2fx below the 2.0x pin", speedup)
+			}
+		})
+		b.Run(fmt.Sprintf("infinite/m=%d", m), func(b *testing.B) {
+			curr, err := infinite.New(infinite.Config{
+				Mu: coreStepMu, Rule: coreStepRule(b), Env: coreStepEnv(b, m), Seed: coreStepSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			legacy := newLInfinite(coreStepQualities(m),
+				coreStepMu, coreStepAlpha, coreStepBeta, coreStepSeed)
+			benchEnginePair(b, curr, legacy, 20000, func() (float64, float64) {
+				return curr.CumulativeGroupReward(), legacy.cum
+			})
+		})
+		b.Run(fmt.Sprintf("netpop/m=%d", m), func(b *testing.B) {
+			g, err := graph.Ring(coreStepNetN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			curr, err := netpop.New(netpop.Config{
+				Graph: g, Mu: coreStepMu, Rule: coreStepRule(b),
+				Env: coreStepEnv(b, m), Seed: coreStepSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			adj := make([][]int, coreStepNetN)
+			for i := range adj {
+				adj[i] = g.Neighbors(i)
+			}
+			legacy := newLNetpop(adj, coreStepQualities(m),
+				coreStepMu, coreStepAlpha, coreStepBeta, coreStepSeed)
+			benchEnginePair(b, curr, legacy, 500, func() (float64, float64) {
+				return curr.CumulativeGroupReward(), legacy.cum
+			})
+		})
+	}
+}
+
+// TestCoreStepAllocs pins the tentpole's zero-allocation contract: a
+// steady-state Step of every engine — through the core.Group seam the
+// serving layer drives — performs no heap allocation. Skipped under the
+// race detector, whose instrumentation perturbs allocation counts.
+func TestCoreStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	ring, err := graph.Ring(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"aggregate/m=3", core.Config{N: 100_000, Qualities: coreStepQualities(3), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"aggregate/m=64", core.Config{N: 100_000, Qualities: coreStepQualities(64), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"agent/m=3", core.Config{N: 512, Engine: core.EngineAgent, Qualities: coreStepQualities(3), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"agent/m=64", core.Config{N: 512, Engine: core.EngineAgent, Qualities: coreStepQualities(64), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"infinite/m=3", core.Config{Qualities: coreStepQualities(3), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"infinite/m=64", core.Config{Qualities: coreStepQualities(64), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"netpop/m=3", core.Config{Network: ring, Qualities: coreStepQualities(3), Beta: coreStepBeta, Mu: coreStepMu}},
+		{"netpop/m=64", core.Config{Network: ring, Qualities: coreStepQualities(64), Beta: coreStepBeta, Mu: coreStepMu}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Seed = coreStepSeed
+			g, err := core.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reach steady state: first steps may grow reusable
+			// buffers to their high-water capacity.
+			for i := 0; i < 16; i++ {
+				if err := g.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := g.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Step allocates %.2f objects per call, want 0", allocs)
+			}
+		})
+	}
+}

@@ -51,4 +51,38 @@
 //	  "family": {"qualities": [0.9, 0.5, 0.5], "beta": 0.7},
 //	  "variants": [{"n": 1000, "steps": 1000, "seed": 1},
 //	               {"n": 100000, "steps": 1000, "seed": 2}]}'
+//
+// # The simulation hot path
+//
+// Every saved recomputation bottoms out in an engine's Step loop, so
+// the step is engineered to be allocation-free at steady state across
+// all four engines (aggregate, agent, infinite, network). The
+// sampler-object API in internal/dist carries it: MultinomialSampler
+// validates its distribution family once and then SampleInto draws
+// with no per-call allocation or re-validation; Alias.Rebuild
+// reconstructs a Walker table in place, reusing every buffer; and
+// BinomialUnchecked skips per-draw validation for parameters the
+// engine validated at construction. The innermost loops run as bulk
+// draw kernels in internal/rng (AliasSampleInto, ThresholdCountInto)
+// that keep the generator state in registers, branchless where the
+// outcome is decided by a random draw. internal/experiment.RunSweep
+// recycles whole engines across (variant, replication) tasks via
+// core.Group.Reset instead of reallocating per run.
+//
+// The RNG draw order is a compatibility surface: a spec must replay to
+// a bit-identical Report across versions, because cache keys, sweep
+// bit-identity, and the persistent result store all assume it. Every
+// optimization above consumes exactly the draw sequence of the code it
+// replaced; golden_test.go pins seeded reports for all four engines,
+// and any change that shifts a draw must deliberately regenerate those
+// fixtures and release-note the break. See the internal/rng package
+// docs for the frozen draw-kernel formulas.
+//
+// Perf quickstart — the core step benchmarks and their pins (≥2×
+// agent-engine and ≥1.5× aggregate-engine step throughput vs the
+// pre-refit implementations, asserted in-benchmark; allocation pins in
+// TestCoreStepAllocs):
+//
+//	go test -run '^$' -bench BenchmarkCoreStep -benchtime 1x .
+//	go test -run TestCoreStepAllocs .
 package repro

@@ -338,6 +338,9 @@ func (g *Group) T() int {
 	}
 }
 
+// Options returns the number of options m.
+func (g *Group) Options() int { return g.environ.Options() }
+
 // Popularity returns the current popularity vector (Q^t for finite
 // groups, P^t for the infinite process, held-option fractions for
 // network groups).
@@ -350,6 +353,41 @@ func (g *Group) Popularity() []float64 {
 	default:
 		return g.finite.Popularity()
 	}
+}
+
+// AppendPopularity appends the current popularity vector to dst and
+// returns it, allocating only when dst lacks capacity — the no-copy
+// accessor for per-step callers (trace recording, experiment tables).
+func (g *Group) AppendPopularity(dst []float64) []float64 {
+	switch {
+	case g.infinite != nil:
+		return g.infinite.AppendDistribution(dst)
+	case g.network != nil:
+		return g.network.AppendFractions(dst)
+	default:
+		return g.finite.AppendPopularity(dst)
+	}
+}
+
+// Reset reinitializes the group in place to the state New would produce
+// with the same config and the given seed, reusing every engine buffer:
+// a reset group replays a fresh group's run bit for bit. It requires
+// the default IID Bernoulli environment — custom environments may carry
+// per-run state the group cannot rewind — and is how sweep workers
+// recycle engine scratch across (variant, replication) tasks.
+func (g *Group) Reset(seed uint64) error {
+	if _, ok := g.environ.(*env.IIDBernoulli); !ok {
+		return fmt.Errorf("%w: Reset requires the stateless IID Bernoulli environment", ErrBadConfig)
+	}
+	switch {
+	case g.infinite != nil:
+		g.infinite.Reset(seed)
+	case g.network != nil:
+		g.network.Reset(seed)
+	default:
+		g.finite.Reset(seed)
+	}
+	return nil
 }
 
 // Step advances one time step.

@@ -8,36 +8,65 @@ import (
 )
 
 // Alias is a Walker/Vose alias table: O(m) construction, O(1) draws
-// from a fixed categorical distribution.
+// from a fixed categorical distribution. Rebuild refreshes the table in
+// place for a new weight vector, reusing every internal buffer, so an
+// engine that re-weights each step keeps one steady-state-allocation-
+// free table instead of constructing a fresh one per step.
 type Alias struct {
 	prob  []float64
 	alias []int
+
+	// thresh is prob pre-scaled by 2⁵³ (an exact, exponent-only
+	// scaling) for the bulk kernel, which compares raw 53-bit draws
+	// directly instead of converting each to [0, 1).
+	thresh []float64
+
+	// Construction worklists, retained across Rebuild calls.
+	scaled       []float64
+	small, large []int
 }
 
 // NewAlias builds the table for the given weights (non-negative,
 // finite, positive sum; normalized internally).
 func NewAlias(weights []float64) (*Alias, error) {
+	a := &Alias{}
+	if err := a.Rebuild(weights); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Rebuild reconstructs the table for a new weight vector (same
+// constraints as NewAlias; the length may change). The construction is
+// deterministic and identical to NewAlias's, so a rebuilt table draws
+// exactly the sequence a fresh table would. After the first build with
+// a given length, Rebuild allocates nothing.
+func (a *Alias) Rebuild(weights []float64) error {
 	m := len(weights)
 	if m == 0 {
-		return nil, fmt.Errorf("%w: alias with no weights", ErrBadParam)
+		return fmt.Errorf("%w: alias with no weights", ErrBadParam)
 	}
 	total := 0.0
 	for j, w := range weights {
 		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-			return nil, fmt.Errorf("%w: alias weight[%d]=%v", ErrBadParam, j, w)
+			return fmt.Errorf("%w: alias weight[%d]=%v", ErrBadParam, j, w)
 		}
 		total += w
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("%w: alias weights sum to %v", ErrBadParam, total)
+		return fmt.Errorf("%w: alias weights sum to %v", ErrBadParam, total)
 	}
-	a := &Alias{prob: make([]float64, m), alias: make([]int, m)}
-	scaled := make([]float64, m)
-	small := make([]int, 0, m)
-	large := make([]int, 0, m)
+	a.prob = resizeFloats(a.prob, m)
+	a.scaled = resizeFloats(a.scaled, m)
+	a.alias = resizeInts(a.alias, m)
+	// Worklists are pre-sized to their m-element worst case so no
+	// append during redistribution can ever grow them: the first
+	// Rebuild of a given length is the last allocation.
+	small := resizeInts(a.small, m)[:0]
+	large := resizeInts(a.large, m)[:0]
 	for j, w := range weights {
-		scaled[j] = w / total * float64(m)
-		if scaled[j] < 1 {
+		a.scaled[j] = w / total * float64(m)
+		if a.scaled[j] < 1 {
 			small = append(small, j)
 		} else {
 			large = append(large, j)
@@ -48,10 +77,10 @@ func NewAlias(weights []float64) (*Alias, error) {
 		small = small[:len(small)-1]
 		l := large[len(large)-1]
 		large = large[:len(large)-1]
-		a.prob[s] = scaled[s]
+		a.prob[s] = a.scaled[s]
 		a.alias[s] = l
-		scaled[l] -= 1 - scaled[s]
-		if scaled[l] < 1 {
+		a.scaled[l] -= 1 - a.scaled[s]
+		if a.scaled[l] < 1 {
 			small = append(small, l)
 		} else {
 			large = append(large, l)
@@ -66,7 +95,27 @@ func NewAlias(weights []float64) (*Alias, error) {
 		a.prob[j] = 1
 		a.alias[j] = j
 	}
-	return a, nil
+	a.small = small[:0]
+	a.large = large[:0]
+	a.thresh = resizeFloats(a.thresh, m)
+	for j, p := range a.prob {
+		a.thresh[j] = p * (1 << 53)
+	}
+	return nil
+}
+
+func resizeFloats(buf []float64, m int) []float64 {
+	if cap(buf) < m {
+		return make([]float64, m)
+	}
+	return buf[:m]
+}
+
+func resizeInts(buf []int, m int) []int {
+	if cap(buf) < m {
+		return make([]int, m)
+	}
+	return buf[:m]
 }
 
 // Len returns the number of categories.
@@ -79,4 +128,13 @@ func (a *Alias) Sample(r *rng.RNG) int {
 		return j
 	}
 	return a.alias[j]
+}
+
+// SampleInto fills dst with independent draws — the bulk form of
+// Sample for per-step engine loops. It consumes exactly the draw
+// sequence len(dst) Sample calls would (two uniforms per draw, plus
+// the bounded draw's rare rejection redraws), delegating to the rng
+// package's register-resident bulk kernel.
+func (a *Alias) SampleInto(r *rng.RNG, dst []int) {
+	r.AliasSampleInto(a.thresh, a.alias, dst)
 }

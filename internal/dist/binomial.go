@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"repro/internal/rng"
 )
@@ -22,29 +24,59 @@ func Binomial(r *rng.RNG, n int, p float64) (int, error) {
 	if r == nil || n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
 		return 0, fmt.Errorf("%w: binomial(n=%d, p=%v)", ErrBadParam, n, p)
 	}
+	return binomial(r, n, p), nil
+}
+
+// BinomialUnchecked draws k ~ Bin(n, p) without parameter validation:
+// the caller guarantees r non-nil, n ≥ 0, and p ∈ [0, 1] (typically
+// validated once at engine construction). It consumes exactly the same
+// RNG draw sequence as Binomial, so swapping the two never changes a
+// simulation's emitted bits — it only removes the per-draw validation
+// from hot loops that issue millions of draws per job.
+func BinomialUnchecked(r *rng.RNG, n int, p float64) int {
+	return binomial(r, n, p)
+}
+
+// binomial is the unchecked sampling core shared by Binomial,
+// BinomialUnchecked, and the multinomial decomposition.
+func binomial(r *rng.RNG, n int, p float64) int {
 	if n == 0 || p == 0 {
-		return 0, nil
+		return 0
 	}
 	if p == 1 {
-		return n, nil
+		return n
 	}
 	if p > 0.5 {
-		k, err := Binomial(r, n, 1-p)
-		return n - k, err
+		// Symmetry reduction, flattened (the checked entry point used
+		// to recurse through the validation prologue).
+		return n - binomialSmallP(r, n, 1-p)
 	}
+	return binomialSmallP(r, n, p)
+}
+
+// binomialSmallP dispatches by regime for 0 < p ≤ 1/2, n ≥ 1. Every
+// regime hoists the generator state into registers (rng.Local) for its
+// draw loop; the stream is unchanged.
+func binomialSmallP(r *rng.RNG, n int, p float64) int {
 	if float64(n)*p >= btrsMinMean {
-		return btrs(r, n, p), nil
+		return btrs(r, n, p)
 	}
 	if n <= directMaxN {
+		x := r.Hoist()
 		k := 0
 		for i := 0; i < n; i++ {
-			if r.Bernoulli(p) {
-				k++
+			// Bernoulli(p) with p interior: one uniform per trial,
+			// accumulated branchlessly.
+			hit := 0
+			if x.Float64() < p {
+				hit = 1
 			}
+			k += hit
 		}
-		return k, nil
+		x.StoreTo(r)
+		return k
 	}
-	return geometricBinomial(r, n, p), nil
+	return geometricBinomial(r, n, p)
 }
 
 // BinomialMean returns n·p.
@@ -57,27 +89,38 @@ func BinomialVariance(n int, p float64) float64 { return float64(n) * p * (1 - p
 // geometric jumps — O(n·p) expected work, exact for 0 < p ≤ 1/2.
 func geometricBinomial(r *rng.RNG, n int, p float64) int {
 	lq := math.Log1p(-p)
+	x := r.Hoist()
 	k := 0
 	i := 0
 	for {
-		u := r.Float64()
+		u := x.Float64()
 		for u == 0 {
-			u = r.Float64()
+			u = x.Float64()
 		}
 		jump := math.Floor(math.Log(u) / lq)
 		if jump >= float64(n-i) { // next success falls past the end
-			return k
+			break
 		}
 		i += int(jump) + 1
 		k++
 		if i >= n {
-			return k
+			break
 		}
 	}
+	x.StoreTo(r)
+	return k
 }
 
 // btrs draws Bin(n, p) by Hörmann's BTRS transformed-rejection
 // algorithm (1993); requires 0 < p ≤ 1/2 and n·p ≥ 10.
+//
+// The exact-acceptance constants (α, ln(p/q), the mode, and its
+// log-gamma term h — two math.Lgamma calls) are only needed when the
+// cheap squeeze fails, which the algorithm is tuned to make rare; they
+// are computed lazily on the first squeeze failure so the common
+// all-squeeze-accept call pays one sqrt and a handful of multiplies.
+// Laziness never changes the draw sequence or the accepted value: the
+// same uniforms feed the same tests with the same constants.
 func btrs(r *rng.RNG, n int, p float64) int {
 	q := 1 - p
 	nf := float64(n)
@@ -86,30 +129,91 @@ func btrs(r *rng.RNG, n int, p float64) int {
 	a := -0.0873 + 0.0248*b + 0.01*p
 	c := nf*p + 0.5
 	vr := 0.92 - 4.2/b
-	alpha := (2.83 + 5.1/b) * spq
-	lpq := math.Log(p / q)
-	m := math.Floor(float64(n+1) * p)
-	h := lgamma(m+1) + lgamma(nf-m+1)
+	var alpha, lpq, m, h float64
+	exactReady := false
+	// Generator state in plain scalar locals with the frozen Uint64
+	// and Float64 kernels expanded in place (struct-based hoisting
+	// spills to the stack): this loop draws two uniforms per rejection
+	// round on the hottest aggregate-engine path.
+	s0, s1, s2, s3 := r.HoistScalars()
+	var k int
 	for {
-		u := r.Float64() - 0.5
-		v := r.Float64()
+		uu := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		vv := bits.RotateLeft64(s1*5, 7) * 9
+		t = s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		u := float64(uu>>11)*(1.0/(1<<53)) - 0.5
+		v := float64(vv>>11) * (1.0 / (1 << 53))
 		us := 0.5 - math.Abs(u)
 		kf := math.Floor((2*a/us+b)*u + c)
 		if kf < 0 || kf > nf {
 			continue
 		}
 		if us >= 0.07 && v <= vr {
-			return int(kf)
+			k = int(kf)
+			break
 		}
 		// Squeeze failed: exact log-acceptance test.
+		if !exactReady {
+			alpha = (2.83 + 5.1/b) * spq
+			lpq = math.Log(p / q)
+			m = math.Floor(float64(n+1) * p)
+			h = lgammaInt(m+1) + lgammaInt(nf-m+1)
+			exactReady = true
+		}
 		v = math.Log(v * alpha / (a/(us*us) + b))
-		if v <= h-lgamma(kf+1)-lgamma(nf-kf+1)+(kf-m)*lpq {
-			return int(kf)
+		if v <= h-lgammaInt(kf+1)-lgammaInt(nf-kf+1)+(kf-m)*lpq {
+			k = int(kf)
+			break
 		}
 	}
+	r.StoreScalars(s0, s1, s2, s3)
+	return k
 }
 
 func lgamma(x float64) float64 {
 	v, _ := math.Lgamma(x)
 	return v
+}
+
+// BTRS's exact test only ever evaluates lgamma at integer-valued
+// arguments (kf, m, and n are integer-valued floats): these are
+// log-factorials, the textbook candidate for caching in a binomial
+// sampler. The cache stores math.Lgamma's own outputs, so a hit is
+// bit-identical to the direct call; misses (arguments ≥ 2¹⁶) fall
+// through. Built lazily on the first exact test, read-only after.
+const lgammaIntCacheSize = 1 << 17 // 1 MiB, covers the common n·p range
+
+var (
+	lgammaIntOnce  sync.Once
+	lgammaIntCache []float64
+)
+
+func initLgammaIntCache() {
+	c := make([]float64, lgammaIntCacheSize)
+	for i := 1; i < lgammaIntCacheSize; i++ {
+		c[i], _ = math.Lgamma(float64(i))
+	}
+	lgammaIntCache = c
+}
+
+// lgammaInt is lgamma restricted to integer-valued x ≥ 1.
+func lgammaInt(x float64) float64 {
+	if x < lgammaIntCacheSize {
+		lgammaIntOnce.Do(initLgammaIntCache)
+		return lgammaIntCache[int(x)]
+	}
+	return lgamma(x)
 }

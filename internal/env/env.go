@@ -92,18 +92,23 @@ func (e *IIDBernoulli) Qualities() []float64 {
 	return out
 }
 
-// Step draws independent Bernoulli signals.
+// Step draws independent Bernoulli signals. The generator state is
+// hoisted for the loop (rng.Local) and the Bernoulli clamps are kept
+// exactly (q ≤ 0 and q ≥ 1 consume no draw), so the draw sequence
+// matches per-option r.Bernoulli(q) calls bit for bit.
 func (e *IIDBernoulli) Step(r *rng.RNG, dst []float64) error {
 	if len(dst) != len(e.qualities) {
 		return fmt.Errorf("%w: dst length %d, want %d", ErrBadParam, len(dst), len(e.qualities))
 	}
+	x := r.Hoist()
 	for j, q := range e.qualities {
-		if r.Bernoulli(q) {
-			dst[j] = 1
-		} else {
-			dst[j] = 0
+		v := 0.0
+		if q > 0 && (q >= 1 || x.Float64() < q) {
+			v = 1
 		}
+		dst[j] = v
 	}
+	x.StoreTo(r)
 	return nil
 }
 

@@ -457,11 +457,13 @@ func E05Ablation(opt E05Options) (*Result, error) {
 			}
 			q1 := 0.0
 			rewardBefore := e.CumulativeGroupReward()
+			var popBuf []float64
 			for i := 0; i < window; i++ {
 				if err := e.Step(); err != nil {
 					return 0, err
 				}
-				q1 += e.Popularity()[0]
+				popBuf = e.AppendPopularity(popBuf[:0])
+				q1 += popBuf[0]
 			}
 			results[rep] = pair{
 				q1:     q1 / float64(window),

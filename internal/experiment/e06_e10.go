@@ -374,11 +374,13 @@ func E08WordOfMouth(opt E08Options) (*Result, error) {
 		}
 		window := opt.Steps / 4
 		sum := 0.0
+		var popBuf []float64
 		for i := 0; i < window; i++ {
 			if err := e.Step(); err != nil {
 				return 0, err
 			}
-			sum += e.Popularity()[0]
+			popBuf = e.AppendPopularity(popBuf[:0])
+			sum += popBuf[0]
 		}
 		return sum / float64(window), nil
 	})
@@ -475,11 +477,13 @@ func E09Investors(opt E09Options) (*Result, error) {
 			}
 			before := e.CumulativeGroupReward()
 			q1 := 0.0
+			var popBuf []float64
 			for i := 0; i < window; i++ {
 				if err := e.Step(); err != nil {
 					return 0, err
 				}
-				q1 += e.Popularity()[0]
+				popBuf = e.AppendPopularity(popBuf[:0])
+				q1 += popBuf[0]
 			}
 			results[rep] = pair{
 				q1:     q1 / float64(window),

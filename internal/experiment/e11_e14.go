@@ -198,11 +198,13 @@ func E12MuSweep(opt E12Options) (*Result, error) {
 			}
 			before := e.CumulativeGroupReward()
 			q1 := 0.0
+			var popBuf []float64
 			for i := 0; i < window; i++ {
 				if err := e.Step(); err != nil {
 					return 0, err
 				}
-				q1 += e.Popularity()[0]
+				popBuf = e.AppendPopularity(popBuf[:0])
+				q1 += popBuf[0]
 			}
 			final := e.Popularity()
 			fixated := false

@@ -160,6 +160,19 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker single-slot engine cache: consecutive tasks
+			// that share a (population size, engine) shape — above
+			// all, replications of one variant, which are contiguous
+			// in task order — reuse one group's buffers via Reset
+			// instead of re-allocating O(N + m) state per replication.
+			// One slot bounds retention (a sweep of many distinct
+			// large-N variants must not pin one engine per shape, the
+			// resource-exhaustion class the serving layer guards
+			// against) while capturing the dominant reuse. Reset
+			// replays a fresh group bit for bit (the template
+			// environment is the stateless IID Bernoulli), so
+			// scheduling order still cannot affect results.
+			var cached sweepGroupCache
 			for tk := range next {
 				v := &variants[tk.v]
 				// The gate wait watches the variant's ORIGINAL Ctx —
@@ -177,7 +190,7 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 						}
 					}
 				})
-				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep)
+				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep, &cached)
 				if opt.Gate != nil {
 					<-opt.Gate
 				}
@@ -228,13 +241,54 @@ func acquireGate(ctx, vctx context.Context, gate chan struct{}) error {
 	}
 }
 
+// groupKey identifies the engine shape a cached sweep group can be
+// Reset into serving: variants differing only in seed, steps, or
+// replications share buffers.
+type groupKey struct {
+	n      int
+	engine core.EngineKind
+}
+
+// sweepGroupCache is a worker's single cached group: the last shape it
+// ran. One slot bounds retained engine state to one group per worker
+// while still serving the dominant reuse pattern (contiguous
+// replications of one variant).
+type sweepGroupCache struct {
+	key groupKey
+	g   *core.Group
+}
+
+// sweepGroup returns a group for the variant shape, reusing the cached
+// one (Reset to the task's seed) when the worker just ran the same
+// shape.
+func sweepGroup(tmpl *core.Template, v *SweepVariant, seed uint64, cached *sweepGroupCache) (*core.Group, error) {
+	key := groupKey{n: v.N, engine: v.Engine}
+	if v.N == 0 {
+		key.engine = 0 // the infinite process ignores the engine axis
+	}
+	if cached.g != nil && cached.key == key {
+		if err := cached.g.Reset(seed); err == nil {
+			return cached.g, nil
+		}
+		// Un-resettable groups (cannot happen for template families,
+		// which are always IID Bernoulli) fall through to a rebuild.
+		cached.g = nil
+	}
+	g, err := tmpl.Group(v.N, v.Engine, seed)
+	if err != nil {
+		return nil, err
+	}
+	cached.key, cached.g = key, g
+	return g, nil
+}
+
 // runSweepTask runs one replication of one variant, checking the sweep
 // and variant contexts every CheckEvery steps.
-func runSweepTask(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, rep int) (avg float64, pop []float64, eta1 float64, err error) {
+func runSweepTask(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, rep int, cached *sweepGroupCache) (avg float64, pop []float64, eta1 float64, err error) {
 	if err := sweepCtxErr(ctx, vctx); err != nil {
 		return 0, nil, 0, err
 	}
-	g, err := tmpl.Group(v.N, v.Engine, SeedFor(v.Seed, rep))
+	g, err := sweepGroup(tmpl, v, SeedFor(v.Seed, rep), cached)
 	if err != nil {
 		return 0, nil, 0, fmt.Errorf("experiment: sweep replication %d: %w", rep, err)
 	}

@@ -63,8 +63,14 @@ type Process struct {
 	environ env.Environment
 	r       *rng.RNG
 
+	// Hot-loop invariants, hoisted out of the per-option update:
+	// keep = 1−µ and explore = µ/m, so V_j = keep·P_j + explore.
+	keep    float64
+	explore float64
+
 	t       int
 	p       []float64
+	initP   []float64 // copy of Config.InitialP (nil = uniform start)
 	logPhi  float64
 	rewards []float64
 	scratch []float64
@@ -90,7 +96,7 @@ func New(c Config) (*Process, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("%w: environment has %d options", ErrBadConfig, m)
 	}
-	p := make([]float64, m)
+	var initP []float64
 	if c.InitialP != nil {
 		if len(c.InitialP) != m {
 			return nil, fmt.Errorf("%w: initial P length %d, want %d", ErrBadConfig, len(c.InitialP), m)
@@ -105,11 +111,8 @@ func New(c Config) (*Process, error) {
 		if math.Abs(sum-1) > 1e-9 {
 			return nil, fmt.Errorf("%w: initial P sums to %v", ErrBadConfig, sum)
 		}
-		copy(p, c.InitialP)
-	} else {
-		for j := range p {
-			p[j] = 1 / float64(m)
-		}
+		initP = make([]float64, m)
+		copy(initP, c.InitialP)
 	}
 	proc := &Process{
 		m:       m,
@@ -118,36 +121,77 @@ func New(c Config) (*Process, error) {
 		beta:    c.Rule.Beta(),
 		environ: c.Env,
 		r:       rng.New(c.Seed),
-		p:       p,
-		logPhi:  math.Log(float64(m)), // Φ^0 = m when W^0_j = 1
+		keep:    1 - c.Mu,
+		explore: c.Mu / float64(m),
+		p:       make([]float64, m),
+		initP:   initP,
 		rewards: make([]float64, m),
 		scratch: make([]float64, m),
 	}
 	if c.TrackRawWeights {
 		proc.rawW = make([]float64, m)
-		for j := range proc.rawW {
-			proc.rawW[j] = 1
+	}
+	proc.resetState()
+	return proc, nil
+}
+
+// resetState installs the t = 0 state (shared by New and Reset).
+func (p *Process) resetState() {
+	p.t = 0
+	p.groupRew = 0
+	p.cumReward = 0
+	p.logPhi = math.Log(float64(p.m)) // Φ^0 = m when W^0_j = 1
+	for j := range p.rewards {
+		p.rewards[j] = 0
+	}
+	if p.initP != nil {
+		copy(p.p, p.initP)
+	} else {
+		for j := range p.p {
+			p.p[j] = 1 / float64(p.m)
 		}
 	}
-	return proc, nil
+	if p.rawW != nil {
+		for j := range p.rawW {
+			p.rawW[j] = 1
+		}
+	}
+}
+
+// Reset reinitializes the process in place to the state New would
+// produce with the same config and the given seed, reusing all buffers:
+// a reset process replays a fresh process bit for bit. The environment
+// is NOT reset — only processes driven by stateless environments (the
+// IID Bernoulli default) may be reset.
+func (p *Process) Reset(seed uint64) {
+	p.r.Reseed(seed)
+	p.resetState()
 }
 
 // T returns the number of completed steps.
 func (p *Process) T() int { return p.t }
 
+// Options returns the number of options m.
+func (p *Process) Options() int { return p.m }
+
 // Distribution returns a copy of P^t.
 func (p *Process) Distribution() []float64 {
-	out := make([]float64, p.m)
-	copy(out, p.p)
-	return out
+	return p.AppendDistribution(make([]float64, 0, p.m))
 }
+
+// AppendDistribution appends P^t to dst and returns it, allocating only
+// when dst lacks capacity — the no-copy accessor for per-step internal
+// callers.
+func (p *Process) AppendDistribution(dst []float64) []float64 { return append(dst, p.p...) }
 
 // LastRewards returns a copy of the latest reward vector.
 func (p *Process) LastRewards() []float64 {
-	out := make([]float64, p.m)
-	copy(out, p.rewards)
-	return out
+	return p.AppendLastRewards(make([]float64, 0, p.m))
 }
+
+// AppendLastRewards appends R^t to dst and returns it (see
+// AppendDistribution).
+func (p *Process) AppendLastRewards(dst []float64) []float64 { return append(dst, p.rewards...) }
 
 // LogPotential returns ln Φ^t, the log of the total weight.
 func (p *Process) LogPotential() float64 { return p.logPhi }
@@ -200,13 +244,15 @@ func (p *Process) applyUpdate() {
 	p.cumReward += g
 
 	// V_j = (1−µ)P_j + µ/m, then multiply by the adoption factor.
+	// keep/explore are the hoisted invariants; the arithmetic (and so
+	// every emitted bit) is unchanged.
 	total := 0.0
 	for j := range p.p {
 		factor := p.alpha
 		if p.rewards[j] >= 1 {
 			factor = p.beta
 		}
-		v := ((1-p.mu)*p.p[j] + p.mu/float64(p.m)) * factor
+		v := (p.keep*p.p[j] + p.explore) * factor
 		p.scratch[j] = v
 		total += v
 	}
@@ -231,7 +277,7 @@ func (p *Process) applyUpdate() {
 			if p.rewards[j] >= 1 {
 				factor = p.beta
 			}
-			p.rawW[j] = ((1-p.mu)*p.rawW[j] + p.mu/float64(p.m)*sum) * factor
+			p.rawW[j] = (p.keep*p.rawW[j] + p.explore*sum) * factor
 		}
 	}
 	p.t++

@@ -62,6 +62,15 @@ type Dynamics struct {
 	environ env.Environment
 	r       *rng.RNG
 
+	// sharedLinear devirtualizes stage-2 adoption when every node
+	// follows one agent.Linear rule (see population.AgentEngine): the
+	// per-node interface dispatch collapses to a Bernoulli draw
+	// against a per-option probability, with an identical draw
+	// sequence.
+	sharedLinear agent.Linear
+	devirt       bool
+	padopt       []float64 // scratch: per-option adoption probability
+
 	m       int
 	t       int
 	choice  []int
@@ -109,18 +118,49 @@ func New(c Config) (*Dynamics, error) {
 		rules:   rules,
 		environ: c.Env,
 		r:       rng.New(c.Seed),
+		padopt:  make([]float64, m),
 		m:       m,
 		choice:  make([]int, c.Graph.N()),
 		next:    make([]int, c.Graph.N()),
 		rewards: make([]float64, m),
 		fracs:   make([]float64, m),
 	}
-	for i := range d.choice {
-		d.choice[i] = d.r.Intn(m)
+	if lin, ok := rules[0].(agent.Linear); ok {
+		d.sharedLinear, d.devirt = lin, true
+		for _, rl := range rules[1:] {
+			if l2, ok := rl.(agent.Linear); !ok || l2 != lin {
+				d.sharedLinear, d.devirt = agent.Linear{}, false
+				break
+			}
+		}
 	}
-	d.refreshFracs()
+	d.resetState(c.Seed)
 	return d, nil
 }
+
+// resetState (re)installs the t = 0 state: every node on a uniformly
+// random option drawn from a freshly seeded generator, exactly as New
+// leaves it.
+func (d *Dynamics) resetState(seed uint64) {
+	d.r.Reseed(seed)
+	d.t = 0
+	d.groupRew = 0
+	d.cumReward = 0
+	for j := range d.rewards {
+		d.rewards[j] = 0
+	}
+	for i := range d.choice {
+		d.choice[i] = d.r.Intn(d.m)
+	}
+	d.refreshFracs()
+}
+
+// Reset reinitializes the dynamics in place to the state New would
+// produce with the same config and the given seed, reusing all buffers:
+// a reset dynamics replays a fresh one bit for bit. The environment and
+// graph are NOT reset — only dynamics driven by stateless environments
+// (the IID Bernoulli default) may be reset.
+func (d *Dynamics) Reset(seed uint64) { d.resetState(seed) }
 
 func (d *Dynamics) refreshFracs() {
 	for j := range d.fracs {
@@ -138,12 +178,18 @@ func (d *Dynamics) N() int { return d.g.N() }
 // T returns the number of completed steps.
 func (d *Dynamics) T() int { return d.t }
 
+// Options returns the number of options m.
+func (d *Dynamics) Options() int { return d.m }
+
 // Fractions returns a copy of the per-option population shares.
 func (d *Dynamics) Fractions() []float64 {
-	out := make([]float64, d.m)
-	copy(out, d.fracs)
-	return out
+	return d.AppendFractions(make([]float64, 0, d.m))
 }
+
+// AppendFractions appends the per-option population shares to dst and
+// returns it, allocating only when dst lacks capacity — the no-copy
+// accessor for per-step internal callers.
+func (d *Dynamics) AppendFractions(dst []float64) []float64 { return append(dst, d.fracs...) }
 
 // Choice returns node i's current option.
 func (d *Dynamics) Choice(i int) int { return d.choice[i] }
@@ -182,10 +228,37 @@ func (d *Dynamics) Step() error {
 	d.groupRew = g
 	d.cumReward += g
 
-	// Stage 2: adopt or retain.
-	for i, j := range d.next {
-		if d.rules[i].Adopt(d.r, d.rewards[j]) {
-			d.choice[i] = j
+	// Stage 2: adopt or retain. The devirtualized path expands the
+	// Bernoulli kernel in place (a frozen rng compatibility surface:
+	// p ≤ 0 and p ≥ 1 consume no draw, otherwise one uniform) so the
+	// per-node loop body fully inlines.
+	if d.devirt {
+		alpha, beta := d.sharedLinear.Alpha(), d.sharedLinear.Beta()
+		for j, rew := range d.rewards {
+			if rew >= 1 {
+				d.padopt[j] = beta
+			} else {
+				d.padopt[j] = alpha
+			}
+		}
+		x := d.r.Hoist()
+		padopt, choice := d.padopt, d.choice
+		for i, j := range d.next {
+			p := padopt[j]
+			// Branchless select: adopt j or retain the current
+			// option without a data-dependent branch.
+			v := choice[i]
+			if p > 0 && (p >= 1 || x.Float64() < p) {
+				v = j
+			}
+			choice[i] = v
+		}
+		x.StoreTo(d.r)
+	} else {
+		for i, j := range d.next {
+			if d.rules[i].Adopt(d.r, d.rewards[j]) {
+				d.choice[i] = j
+			}
 		}
 	}
 	d.refreshFracs()

@@ -104,11 +104,11 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu       sync.Mutex
-	status   JobStatus
-	report   *Report
-	reports  []*Report
-	trace    *trace.Recorder
+	mu      sync.Mutex
+	status  JobStatus
+	report  *Report
+	reports []*Report
+	trace   *trace.Recorder
 	// liveTrace is the recorder runSpec is currently filling, set as
 	// soon as the running job creates it so GET /trace can stream
 	// rows before the job finishes.
@@ -870,7 +870,7 @@ func (s *Scheduler) retire(job *Job) {
 func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
 	var regrets stats.Summary
 	var rewardMean, bestQ float64
-	var popSum []float64
+	var popSum, popBuf []float64
 	var rec *trace.Recorder
 	checkEvery := spec.checkInterval()
 	for rep := 0; rep < spec.Replications; rep++ {
@@ -884,13 +884,16 @@ func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.R
 		var repRec *trace.Recorder
 		var row []float64
 		if rep == 0 && spec.TraceEvery > 0 {
-			m := len(g.Popularity())
+			m := g.Options()
 			cols := append([]string{"t", "group_reward"}, trace.VectorColumns("q", m)...)
 			repRec, err = trace.NewRecorder(spec.TraceEvery, cols...)
 			if err != nil {
 				return nil, nil, err
 			}
-			row = make([]float64, 2+m)
+			// len 2, cap 2+m: runGroup appends the popularity vector
+			// in place each step, so tracing allocates nothing per row
+			// beyond the recorder's own storage.
+			row = make([]float64, 2, 2+m)
 			if onTrace != nil {
 				onTrace(repRec)
 			}
@@ -902,12 +905,12 @@ func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.R
 		bestQ = g.BestQuality()
 		regrets.Add(bestQ - avg)
 		rewardMean += (avg - rewardMean) / float64(rep+1)
-		pop := g.Popularity()
+		popBuf = g.AppendPopularity(popBuf[:0])
 		if popSum == nil {
-			popSum = make([]float64, len(pop))
+			popSum = make([]float64, len(popBuf))
 		}
-		for j := range pop {
-			popSum[j] += pop[j]
+		for j, p := range popBuf {
+			popSum[j] += p
 		}
 		if repRec != nil {
 			rec = repRec
@@ -948,8 +951,10 @@ func runGroup(ctx context.Context, g *core.Group, steps, checkEvery int, rec *tr
 		if rec != nil {
 			row[0] = float64(t)
 			row[1] = reward
-			copy(row[2:], g.Popularity())
-			if err := rec.Record(row...); err != nil {
+			// Fills row[2:2+m] in place (cap reserved by the caller):
+			// the per-step trace path performs no copy allocation.
+			full := g.AppendPopularity(row[:2])
+			if err := rec.Record(full...); err != nil {
 				return 0, err
 			}
 		}

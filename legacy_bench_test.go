@@ -1,0 +1,644 @@
+package repro_test
+
+// Pre-change snapshot of the simulation hot path, used as the baseline
+// side of BenchmarkCoreStep's speedup pins. These are faithful copies
+// of the seed implementations this PR replaced:
+//
+//   - RNG: software 128-bit multiply in Intn, out-of-line rotations
+//     (nothing inlined into callers);
+//   - alias table: a fresh allocation per construction, built per step;
+//   - multinomial: per-call validation scan plus a fresh []int per call;
+//   - binomial: per-call validation, recursion for the p > 1/2
+//     symmetry, and eager BTRS setup (two log-gamma evaluations per
+//     call whether or not the exact test runs);
+//   - engines: per-step alias construction, interface-dispatched
+//     stage-2 adoption, copy-based count commit.
+//
+// The legacy RNG emits exactly the same stream as internal/rng (the
+// optimizations there are representation changes, not draw changes),
+// so a legacy engine and a current engine given the same seed walk the
+// same trajectory — the benchmark asserts it, which makes the timing
+// comparison one of identical work.
+
+import (
+	"fmt"
+	"math"
+)
+
+// --- legacy RNG -----------------------------------------------------
+
+type lrng struct{ s [4]uint64 }
+
+func newLrng(seed uint64) *lrng {
+	r := &lrng{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func lrotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+func (r *lrng) Uint64() uint64 {
+	result := lrotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = lrotl(r.s[3], 45)
+	return result
+}
+
+func (r *lrng) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+func (r *lrng) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+func (r *lrng) Intn(n int) int {
+	if n <= 0 {
+		panic("legacy rng: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := lmul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = lmul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+func lmul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// --- legacy dist ----------------------------------------------------
+
+type lAlias struct {
+	prob  []float64
+	alias []int
+}
+
+func newLAlias(weights []float64) (*lAlias, error) {
+	m := len(weights)
+	if m == 0 {
+		return nil, fmt.Errorf("legacy alias with no weights")
+	}
+	total := 0.0
+	for j, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("legacy alias weight[%d]=%v", j, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("legacy alias weights sum to %v", total)
+	}
+	a := &lAlias{prob: make([]float64, m), alias: make([]int, m)}
+	scaled := make([]float64, m)
+	small := make([]int, 0, m)
+	large := make([]int, 0, m)
+	for j, w := range weights {
+		scaled[j] = w / total * float64(m)
+		if scaled[j] < 1 {
+			small = append(small, j)
+		} else {
+			large = append(large, j)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, j := range large {
+		a.prob[j] = 1
+		a.alias[j] = j
+	}
+	for _, j := range small {
+		a.prob[j] = 1
+		a.alias[j] = j
+	}
+	return a, nil
+}
+
+func (a *lAlias) Sample(r *lrng) int {
+	j := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[j] {
+		return j
+	}
+	return a.alias[j]
+}
+
+func lBinomial(r *lrng, n int, p float64) (int, error) {
+	if r == nil || n < 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("legacy binomial(n=%d, p=%v)", n, p)
+	}
+	if n == 0 || p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		return n, nil
+	}
+	if p > 0.5 {
+		k, err := lBinomial(r, n, 1-p)
+		return n - k, err
+	}
+	if float64(n)*p >= 10 {
+		return lbtrs(r, n, p), nil
+	}
+	if n <= 30 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				k++
+			}
+		}
+		return k, nil
+	}
+	return lgeometricBinomial(r, n, p), nil
+}
+
+func lgeometricBinomial(r *lrng, n int, p float64) int {
+	lq := math.Log1p(-p)
+	k := 0
+	i := 0
+	for {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		jump := math.Floor(math.Log(u) / lq)
+		if jump >= float64(n-i) {
+			return k
+		}
+		i += int(jump) + 1
+		k++
+		if i >= n {
+			return k
+		}
+	}
+}
+
+// lbtrs is the eager-setup BTRS: α, ln(p/q), the mode, and its
+// log-gamma term are computed on every call, squeeze-accepted or not.
+func lbtrs(r *lrng, n int, p float64) int {
+	q := 1 - p
+	nf := float64(n)
+	spq := math.Sqrt(nf * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor(float64(n+1) * p)
+	h := llgamma(m+1) + llgamma(nf-m+1)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > nf {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		if v <= h-llgamma(kf+1)-llgamma(nf-kf+1)+(kf-m)*lpq {
+			return int(kf)
+		}
+	}
+}
+
+func llgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func lMultinomial(r *lrng, n int, probs []float64) ([]int, error) {
+	if r == nil || n < 0 || len(probs) == 0 {
+		return nil, fmt.Errorf("legacy multinomial(n=%d, m=%d)", n, len(probs))
+	}
+	total := 0.0
+	for j, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return nil, fmt.Errorf("legacy multinomial prob[%d]=%v", j, p)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("legacy multinomial probs sum to %v", total)
+	}
+	out := make([]int, len(probs))
+	remaining := n
+	remainingP := total
+	for j := 0; j < len(probs)-1 && remaining > 0; j++ {
+		if remainingP <= 0 {
+			break
+		}
+		pj := probs[j] / remainingP
+		if pj > 1 {
+			pj = 1
+		}
+		k, err := lBinomial(r, remaining, pj)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = k
+		remaining -= k
+		remainingP -= probs[j]
+	}
+	out[len(probs)-1] += remaining
+	return out, nil
+}
+
+// --- legacy environment and rules -----------------------------------
+
+type lEnv struct{ qualities []float64 }
+
+func (e *lEnv) step(r *lrng, dst []float64) error {
+	if len(dst) != len(e.qualities) {
+		return fmt.Errorf("legacy env: dst length %d, want %d", len(dst), len(e.qualities))
+	}
+	for j, q := range e.qualities {
+		if r.Bernoulli(q) {
+			dst[j] = 1
+		} else {
+			dst[j] = 0
+		}
+	}
+	return nil
+}
+
+type lRule interface {
+	Adopt(r *lrng, signal float64) bool
+}
+
+type lLinear struct{ alpha, beta float64 }
+
+func (l lLinear) Adopt(r *lrng, signal float64) bool {
+	if signal >= 1 {
+		return r.Bernoulli(l.beta)
+	}
+	return r.Bernoulli(l.alpha)
+}
+
+func lSamplingProbs(dst, q []float64, mu float64) {
+	m := float64(len(q))
+	for j := range dst {
+		dst[j] = (1-mu)*q[j] + mu/m
+	}
+}
+
+// --- legacy agent engine --------------------------------------------
+
+type lAgentEngine struct {
+	m, n    int
+	mu      float64
+	env     *lEnv
+	r       *lrng
+	q       []float64
+	counts  []int
+	rewards []float64
+	probs   []float64
+	rules   []lRule
+	choice  []int
+	next    []int
+	cum     float64
+}
+
+func newLAgentEngine(n int, qualities []float64, mu, alpha, beta float64, seed uint64) *lAgentEngine {
+	m := len(qualities)
+	e := &lAgentEngine{
+		m: m, n: n, mu: mu,
+		env:     &lEnv{qualities: qualities},
+		r:       newLrng(seed),
+		q:       make([]float64, m),
+		counts:  make([]int, m),
+		rewards: make([]float64, m),
+		probs:   make([]float64, m),
+		rules:   make([]lRule, n),
+		choice:  make([]int, n),
+		next:    make([]int, m),
+	}
+	for j := range e.q {
+		e.q[j] = 1 / float64(m)
+	}
+	for i := range e.rules {
+		e.rules[i] = lLinear{alpha: alpha, beta: beta}
+	}
+	return e
+}
+
+func (e *lAgentEngine) commit(newCounts []int) {
+	total := 0
+	for _, d := range newCounts {
+		total += d
+	}
+	copy(e.counts, newCounts)
+	if total > 0 {
+		for j, d := range newCounts {
+			e.q[j] = float64(d) / float64(total)
+		}
+	}
+}
+
+func (e *lAgentEngine) account() {
+	g := 0.0
+	for j, rew := range e.rewards {
+		g += e.q[j] * rew
+	}
+	e.cum += g
+}
+
+func (e *lAgentEngine) Step() error {
+	lSamplingProbs(e.probs, e.q, e.mu)
+	table, err := newLAlias(e.probs)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < e.n; i++ {
+		e.choice[i] = table.Sample(e.r)
+	}
+	if err := e.env.step(e.r, e.rewards); err != nil {
+		return err
+	}
+	e.account()
+	for j := range e.next {
+		e.next[j] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		j := e.choice[i]
+		if e.rules[i].Adopt(e.r, e.rewards[j]) {
+			e.next[j]++
+		}
+	}
+	e.commit(e.next)
+	return nil
+}
+
+// --- legacy aggregate engine ----------------------------------------
+
+type lAggregateEngine struct {
+	m, n    int
+	mu      float64
+	alpha   float64
+	beta    float64
+	env     *lEnv
+	r       *lrng
+	q       []float64
+	counts  []int
+	rewards []float64
+	probs   []float64
+	next    []int
+	cum     float64
+}
+
+func newLAggregateEngine(n int, qualities []float64, mu, alpha, beta float64, seed uint64) *lAggregateEngine {
+	m := len(qualities)
+	e := &lAggregateEngine{
+		m: m, n: n, mu: mu, alpha: alpha, beta: beta,
+		env:     &lEnv{qualities: qualities},
+		r:       newLrng(seed),
+		q:       make([]float64, m),
+		counts:  make([]int, m),
+		rewards: make([]float64, m),
+		probs:   make([]float64, m),
+		next:    make([]int, m),
+	}
+	for j := range e.q {
+		e.q[j] = 1 / float64(m)
+	}
+	return e
+}
+
+func (e *lAggregateEngine) account() {
+	g := 0.0
+	for j, rew := range e.rewards {
+		g += e.q[j] * rew
+	}
+	e.cum += g
+}
+
+func (e *lAggregateEngine) commit(newCounts []int) {
+	total := 0
+	for _, d := range newCounts {
+		total += d
+	}
+	copy(e.counts, newCounts)
+	if total > 0 {
+		for j, d := range newCounts {
+			e.q[j] = float64(d) / float64(total)
+		}
+	}
+}
+
+func (e *lAggregateEngine) Step() error {
+	lSamplingProbs(e.probs, e.q, e.mu)
+	sampled, err := lMultinomial(e.r, e.n, e.probs)
+	if err != nil {
+		return err
+	}
+	if err := e.env.step(e.r, e.rewards); err != nil {
+		return err
+	}
+	e.account()
+	for j, s := range sampled {
+		p := e.alpha
+		if e.rewards[j] >= 1 {
+			p = e.beta
+		}
+		d, err := lBinomial(e.r, s, p)
+		if err != nil {
+			return err
+		}
+		e.next[j] = d
+	}
+	e.commit(e.next)
+	return nil
+}
+
+// --- legacy infinite process ----------------------------------------
+
+type lInfinite struct {
+	m       int
+	mu      float64
+	alpha   float64
+	beta    float64
+	env     *lEnv
+	r       *lrng
+	p       []float64
+	rewards []float64
+	scratch []float64
+	logPhi  float64
+	cum     float64
+}
+
+func newLInfinite(qualities []float64, mu, alpha, beta float64, seed uint64) *lInfinite {
+	m := len(qualities)
+	e := &lInfinite{
+		m: m, mu: mu, alpha: alpha, beta: beta,
+		env:     &lEnv{qualities: qualities},
+		r:       newLrng(seed),
+		p:       make([]float64, m),
+		rewards: make([]float64, m),
+		scratch: make([]float64, m),
+		logPhi:  math.Log(float64(m)),
+	}
+	for j := range e.p {
+		e.p[j] = 1 / float64(m)
+	}
+	return e
+}
+
+func (e *lInfinite) Step() error {
+	if err := e.env.step(e.r, e.rewards); err != nil {
+		return err
+	}
+	g := 0.0
+	for j, rew := range e.rewards {
+		g += e.p[j] * rew
+	}
+	e.cum += g
+	total := 0.0
+	for j := range e.p {
+		factor := e.alpha
+		if e.rewards[j] >= 1 {
+			factor = e.beta
+		}
+		v := ((1-e.mu)*e.p[j] + e.mu/float64(e.m)) * factor
+		e.scratch[j] = v
+		total += v
+	}
+	if total > 0 {
+		e.logPhi += math.Log(total)
+		for j := range e.p {
+			e.p[j] = e.scratch[j] / total
+		}
+	}
+	return nil
+}
+
+// --- legacy network dynamics ----------------------------------------
+
+type lNetpop struct {
+	adj     [][]int
+	mu      float64
+	rules   []lRule
+	env     *lEnv
+	r       *lrng
+	m       int
+	choice  []int
+	next    []int
+	rewards []float64
+	fracs   []float64
+	cum     float64
+}
+
+func newLNetpop(adj [][]int, qualities []float64, mu, alpha, beta float64, seed uint64) *lNetpop {
+	m := len(qualities)
+	n := len(adj)
+	d := &lNetpop{
+		adj: adj, mu: mu,
+		rules:   make([]lRule, n),
+		env:     &lEnv{qualities: qualities},
+		r:       newLrng(seed),
+		m:       m,
+		choice:  make([]int, n),
+		next:    make([]int, n),
+		rewards: make([]float64, m),
+		fracs:   make([]float64, m),
+	}
+	for i := range d.rules {
+		d.rules[i] = lLinear{alpha: alpha, beta: beta}
+	}
+	for i := range d.choice {
+		d.choice[i] = d.r.Intn(m)
+	}
+	d.refreshFracs()
+	return d
+}
+
+func (d *lNetpop) refreshFracs() {
+	for j := range d.fracs {
+		d.fracs[j] = 0
+	}
+	inc := 1 / float64(len(d.choice))
+	for _, j := range d.choice {
+		d.fracs[j] += inc
+	}
+}
+
+func (d *lNetpop) Step() error {
+	for i := range d.next {
+		if d.r.Bernoulli(d.mu) {
+			d.next[i] = d.r.Intn(d.m)
+			continue
+		}
+		nbrs := d.adj[i]
+		if len(nbrs) == 0 {
+			d.next[i] = d.r.Intn(d.m)
+			continue
+		}
+		d.next[i] = d.choice[nbrs[d.r.Intn(len(nbrs))]]
+	}
+	if err := d.env.step(d.r, d.rewards); err != nil {
+		return err
+	}
+	g := 0.0
+	for j, rew := range d.rewards {
+		g += d.fracs[j] * rew
+	}
+	d.cum += g
+	for i, j := range d.next {
+		if d.rules[i].Adopt(d.r, d.rewards[j]) {
+			d.choice[i] = j
+		}
+	}
+	d.refreshFracs()
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count pins are skipped under it.
+const raceEnabled = true
