@@ -27,7 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -64,14 +64,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		jobTime  = fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock limit once running (0 disables)")
 		sweepW   = fs.Int("sweep-workers", 0, "fan-out of one batched sweep (0 = workers)")
 		coalesce = fs.Bool("coalesce", true, "batch concurrently queued same-family specs into one vectorized sweep")
-		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
-		storeDir = fs.String("store-dir", "", "directory for the persistent result store (empty = in-memory only)")
-		storeMax = fs.Int64("store-max-bytes", 1<<30, "byte budget of the on-disk result store before segment GC (0 = unlimited)")
+		drainFor   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		drainGrace = fs.Duration("drain-grace", 0, "pause between failing readiness (/readyz 503) and closing listeners, so load balancers stop routing first")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		storeDir   = fs.String("store-dir", "", "directory for the persistent result store (empty = in-memory only)")
+		storeMax   = fs.Int64("store-max-bytes", 1<<30, "byte budget of the on-disk result store before segment GC (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logger := log.New(logw, "reprod: ", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(logw, &slog.HandlerOptions{Level: level}))
 
 	sched, err := service.NewScheduler(service.SchedulerConfig{
 		Workers:         *workers,
@@ -80,6 +86,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		JobTimeout:      *jobTime,
 		SweepWorkers:    *sweepW,
 		DisableCoalesce: !*coalesce,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
@@ -103,7 +110,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 			tiered.Close()
 			return err
 		}
-		logger.Printf("persistent store: dir=%s max-bytes=%d warm keys=%d", *storeDir, *storeMax, disk.Len())
+		logger.Info("persistent store opened",
+			"dir", *storeDir, "max_bytes", *storeMax, "warm_keys", disk.Len())
 	} else {
 		if resultCache, err = service.NewCache(*cache); err != nil {
 			return err
@@ -117,15 +125,17 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if err != nil {
 		return err
 	}
+	app := service.NewServer(sched, resultCache, service.WithLogger(logger))
 	srv := &http.Server{
-		Handler:           service.NewServer(sched, resultCache),
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	logger.Printf("serving on %s (workers=%d queue=%d cache=%d job-timeout=%s)",
-		ln.Addr(), *workers, *queue, *cache, *jobTime)
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "workers", *workers, "queue", *queue,
+		"cache", *cache, "job_timeout", *jobTime)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -137,11 +147,22 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutdown: draining for up to %s", *drainFor)
+	// Graceful shutdown, in dependency order: fail readiness first so
+	// load balancers stop sending work, give them -drain-grace to
+	// notice, then close listeners and finish in-flight requests, then
+	// stop admissions and drain the scheduler's backlog.
+	logger.Info("shutdown: draining", "budget", *drainFor, "grace", *drainGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
+	app.StartDrain()
+	if *drainGrace > 0 {
+		select {
+		case <-time.After(*drainGrace):
+		case <-shutdownCtx.Done():
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: http: %v", err)
+		logger.Warn("shutdown: http", "error", err)
 	}
 	// Stop admissions and let queued + running jobs finish.
 	drained := make(chan struct{})
@@ -151,9 +172,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	}()
 	select {
 	case <-drained:
-		logger.Printf("shutdown: drained cleanly")
+		logger.Info("shutdown: drained cleanly")
 	case <-shutdownCtx.Done():
-		logger.Printf("shutdown: drain budget exceeded, exiting with jobs in flight")
+		logger.Warn("shutdown: drain budget exceeded, exiting with jobs in flight")
 	}
 	return nil
 }

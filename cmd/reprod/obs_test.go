@@ -1,0 +1,155 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDaemonShutdownSequence checks the graceful-drain ordering: once
+// shutdown begins, /readyz flips to 503 {"draining":true} while
+// /healthz keeps answering 200 and the listener stays open for the
+// whole -drain-grace window, so load balancers can stop routing before
+// connections start failing.
+func TestDaemonShutdownSequence(t *testing.T) {
+	t.Parallel()
+
+	base, stop := startDaemon(t, "-drain-grace", "2s")
+
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, "", err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, "", err
+		}
+		return resp.StatusCode, string(raw), nil
+	}
+
+	// Before shutdown: ready and live.
+	if code, body, err := get("/readyz"); err != nil || code != http.StatusOK || strings.Contains(body, `"draining":true`) {
+		t.Fatalf("pre-shutdown readyz: code=%d body=%s err=%v", code, body, err)
+	}
+
+	stopErr := make(chan error, 1)
+	go func() { stopErr <- stop() }()
+
+	// Within the grace window the listener must still be up, readiness
+	// must fail with the draining marker, and liveness must still pass.
+	deadline := time.Now().Add(2 * time.Second)
+	flipped := false
+	for time.Now().Before(deadline) {
+		code, body, err := get("/readyz")
+		if err != nil {
+			t.Fatalf("listener closed before readiness flipped: %v", err)
+		}
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, `"draining":true`) {
+				t.Fatalf("draining readyz body %q lacks draining:true", body)
+			}
+			flipped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !flipped {
+		t.Fatal("readiness never flipped to 503 during the grace window")
+	}
+	if code, _, err := get("/healthz"); err != nil || code != http.StatusOK {
+		t.Fatalf("liveness while draining: code=%d err=%v (healthz must stay 200)", code, err)
+	}
+
+	if err := <-stopErr; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, _, err := get("/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown completed")
+	}
+}
+
+// TestDaemonMetricsSmoke boots the daemon, serves traffic (tagged with
+// a client request ID), scrapes GET /metrics, and strict-checks the
+// exposition format. With METRICS_SNAPSHOT set, the scraped page is
+// written there so CI can archive it as a build artifact.
+func TestDaemonMetricsSmoke(t *testing.T) {
+	t.Parallel()
+
+	base, _ := startDaemon(t)
+
+	// Traffic: one simulate carrying an inbound X-Request-ID.
+	body := `{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 41}`
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/simulate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "smoke-req-41")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "smoke-req-41" {
+		t.Errorf("inbound request ID not echoed: got %q", got)
+	}
+
+	// A request without an ID gets a generated one.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if id := hresp.Header.Get("X-Request-ID"); !obs.ValidRequestID(id) {
+		t.Errorf("generated request ID %q is not valid", id)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("metrics Content-Type %q, want %q", ct, obs.ContentType)
+	}
+	if err := obs.CheckExposition(string(page)); err != nil {
+		t.Errorf("exposition format: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`reprod_http_requests_total{route="POST /v1/simulate",code="2xx"} 1`,
+		"reprod_http_request_duration_seconds_bucket",
+		"reprod_sched_queue_wait_seconds_bucket",
+		"reprod_sched_run_duration_seconds_bucket",
+		`reprod_sched_jobs_total{outcome="done"} 1`,
+		`reprod_cache_requests_total{result="miss"} 1`,
+		`reprod_store_len{tier="memory"} 1`,
+		"reprod_uptime_seconds",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("metrics page lacks %q", want)
+		}
+	}
+
+	if path := os.Getenv("METRICS_SNAPSHOT"); path != "" {
+		if err := os.WriteFile(path, page, 0o644); err != nil {
+			t.Fatalf("write METRICS_SNAPSHOT: %v", err)
+		}
+	}
+}

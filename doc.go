@@ -20,7 +20,7 @@
 // net/http handlers (synchronous POST /v1/simulate, batched
 // POST /v1/sweep, asynchronous POST /v1/jobs + GET /v1/jobs/{id},
 // NDJSON trace streaming — incremental while the job is still
-// running — /healthz, /statsz). Parameter sweeps — the paper's
+// running — /healthz liveness, /readyz readiness, /metrics, /statsz). Parameter sweeps — the paper's
 // native workload — run batched: a SweepSpec names one shared
 // (qualities, β, µ) family plus per-variant (n, engine, steps, seed)
 // axes, is admitted as one job whose work charge is the summed
@@ -85,4 +85,66 @@
 //
 //	go test -run '^$' -bench BenchmarkCoreStep -benchtime 1x .
 //	go test -run TestCoreStepAllocs .
+//
+// # Observability quickstart
+//
+// The serving stack is instrumented end to end by internal/obs, a
+// dependency-free metrics subsystem (atomic counters, gauges,
+// fixed-bucket histograms with lock-free allocation-free recording —
+// Observe costs ~12ns, pinned by BenchmarkMetricsOverhead) exposed in
+// Prometheus text format on GET /metrics. /statsz reads the same
+// registry handles, so the JSON and Prometheus views cannot disagree.
+// Every request gets a request ID (a well-formed inbound X-Request-ID
+// is honored), echoed in the X-Request-ID response header and the job
+// object's request_id, and threaded into every log/slog line the
+// scheduler and HTTP layer emit — a latency outlier in a histogram is
+// greppable to the exact request and job that produced it:
+//
+//	reprod -addr :8080 -log-level debug
+//	curl -s -H 'X-Request-ID: probe-1' localhost:8080/v1/simulate -d \
+//	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}'
+//	curl -s localhost:8080/metrics | grep reprod_sched_queue_wait
+//	curl -s localhost:8080/readyz   # 200; 503 {"draining":true} during shutdown
+//
+// /healthz is pure liveness; /readyz is readiness and fails as soon as
+// graceful drain begins (-drain-grace holds the listener open while
+// load balancers notice). The metric catalog, all prefixed reprod_:
+//
+//	http_requests_total{route,code}        counter   per-route requests by status class
+//	http_request_duration_seconds{route}   histogram per-route latency
+//	http_requests_inflight                 gauge     requests being served now
+//	http_response_errors_total             counter   response encode/write failures
+//	sched_queue_wait_seconds{shard}        histogram queue wait (the SLO signal)
+//	sched_run_duration_seconds{shard}      histogram job run duration
+//	sched_queue_depth{shard}               gauge     live backlog per shard
+//	sched_running                          gauge     jobs executing now
+//	sched_jobs_total{outcome}              counter   done | failed | canceled
+//	sched_job_timeouts_total               counter   jobs killed by the server limit
+//	sched_overload_rejections_total        counter   admission-control sheds
+//	sched_batch_size                       histogram coalesced batch sizes
+//	sched_sweep_jobs_total                 counter   executed sweep jobs
+//	sched_coalesced_batches_total          counter   coalesced batches run
+//	sched_coalesced_jobs_total             counter   jobs inside coalesced batches
+//	sched_solo_jobs_total                  counter   jobs executed individually
+//	sweep_tasks_total                      counter   (variant, replication) fan-out
+//	sweep_engine_reuses_total              counter   tasks served by engine Reset
+//	sweep_engine_builds_total              counter   tasks building a fresh engine
+//	cache_requests_total{result}           counter   hit | miss | wait
+//	store_hits_total{tier}                 counter   reads answered per tier
+//	store_evictions_total{tier}            counter   entries dropped per tier
+//	store_len{tier}                        gauge     live entries per tier
+//	store_promotions_total                 counter   disk→memory promotions
+//	store_spills_total                     counter   write-behind spills persisted
+//	store_spill_errors_total               counter   failed spills
+//	store_spill_queue_depth                gauge     write-behind backlog (saturation)
+//	store_compactions_total                counter   segment GC passes
+//	store_segments_dropped_total           counter   segments deleted by GC
+//	store_read_errors_total                counter   CRC/IO read failures
+//	store_disk_bytes                       gauge     segment bytes on disk
+//	store_disk_segments                    gauge     segment file count
+//	uptime_seconds                         gauge     seconds since wiring
+//
+// The exposition format is strict-checked (obs.CheckExposition) in
+// tests and by CI's metrics smoke step, which scrapes a live daemon
+// and archives the page as the BENCH_metrics.json artifact.
 package repro

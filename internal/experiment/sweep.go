@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -73,6 +74,23 @@ type SweepResult struct {
 	Err error
 }
 
+// SweepCounters are the sweep engine's own instrumentation: plain
+// atomics (this package stays dependency-free) a caller can share
+// across RunSweep calls and export however it likes — the serving
+// layer reads them into its metrics registry at scrape time.
+type SweepCounters struct {
+	// Tasks counts (variant, replication) tasks that actually began
+	// executing (acquired the gate and passed the context checks).
+	Tasks atomic.Uint64
+	// EngineReuses counts tasks served by Reset-ing the worker's
+	// cached engine; EngineBuilds counts tasks that built a fresh one.
+	// Their ratio is the variant-cache hit rate: low reuse on a
+	// replication-heavy sweep means task ordering is defeating the
+	// per-worker single-slot cache.
+	EngineReuses atomic.Uint64
+	EngineBuilds atomic.Uint64
+}
+
 // SweepOptions bounds the sweep's fan-out.
 type SweepOptions struct {
 	// Workers caps the number of concurrent (variant, replication)
@@ -85,6 +103,9 @@ type SweepOptions struct {
 	// Tasks blocked on the gate have not started (OnStart has not
 	// fired), so gated waiting does not burn per-variant clocks.
 	Gate chan struct{}
+	// Counters, when non-nil, receives the sweep's task fan-out and
+	// engine-cache instrumentation.
+	Counters *SweepCounters
 }
 
 // RunSweep executes every variant of a shared-family sweep with
@@ -190,7 +211,10 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 						}
 					}
 				})
-				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep, &cached)
+				if opt.Counters != nil {
+					opt.Counters.Tasks.Add(1)
+				}
+				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep, &cached, opt.Counters)
 				if opt.Gate != nil {
 					<-opt.Gate
 				}
@@ -261,13 +285,16 @@ type sweepGroupCache struct {
 // sweepGroup returns a group for the variant shape, reusing the cached
 // one (Reset to the task's seed) when the worker just ran the same
 // shape.
-func sweepGroup(tmpl *core.Template, v *SweepVariant, seed uint64, cached *sweepGroupCache) (*core.Group, error) {
+func sweepGroup(tmpl *core.Template, v *SweepVariant, seed uint64, cached *sweepGroupCache, ctrs *SweepCounters) (*core.Group, error) {
 	key := groupKey{n: v.N, engine: v.Engine}
 	if v.N == 0 {
 		key.engine = 0 // the infinite process ignores the engine axis
 	}
 	if cached.g != nil && cached.key == key {
 		if err := cached.g.Reset(seed); err == nil {
+			if ctrs != nil {
+				ctrs.EngineReuses.Add(1)
+			}
 			return cached.g, nil
 		}
 		// Un-resettable groups (cannot happen for template families,
@@ -278,17 +305,20 @@ func sweepGroup(tmpl *core.Template, v *SweepVariant, seed uint64, cached *sweep
 	if err != nil {
 		return nil, err
 	}
+	if ctrs != nil {
+		ctrs.EngineBuilds.Add(1)
+	}
 	cached.key, cached.g = key, g
 	return g, nil
 }
 
 // runSweepTask runs one replication of one variant, checking the sweep
 // and variant contexts every CheckEvery steps.
-func runSweepTask(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, rep int, cached *sweepGroupCache) (avg float64, pop []float64, eta1 float64, err error) {
+func runSweepTask(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, rep int, cached *sweepGroupCache, ctrs *SweepCounters) (avg float64, pop []float64, eta1 float64, err error) {
 	if err := sweepCtxErr(ctx, vctx); err != nil {
 		return 0, nil, 0, err
 	}
-	g, err := sweepGroup(tmpl, v, SeedFor(v.Seed, rep), cached)
+	g, err := sweepGroup(tmpl, v, SeedFor(v.Seed, rep), cached, ctrs)
 	if err != nil {
 		return 0, nil, 0, fmt.Errorf("experiment: sweep replication %d: %w", rep, err)
 	}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fullRegistry builds a registry exercising every metric shape the
+// exposition writer supports.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("plain_total", "an unlabeled counter").Add(7)
+	v := r.CounterVec("labeled_total", "a labeled counter", "route", "code")
+	v.With("/v1/simulate", "2xx").Add(3)
+	v.With("/v1/jobs", "5xx").Inc()
+	v.WithFunc(func() float64 { return 42 }, "/metrics", "2xx")
+	r.Gauge("depth", "a gauge").Set(3.5)
+	r.GaugeFunc("uptime_seconds", "func gauge", func() float64 { return 12.25 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, x := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(x)
+	}
+	hv := r.HistogramVec("wait_seconds", "queue wait", []float64{0.1, 1}, "shard")
+	hv.With("0").Observe(0.01)
+	hv.With("1").Observe(5)
+	// A label value needing escapes.
+	r.CounterVec("esc_total", "escapes", "v").With("a\"b\\c\nd").Inc()
+	return r
+}
+
+// TestExpositionStrict renders every registered metric shape and runs
+// the strict checker over the output: name charset, HELP/TYPE
+// pairing, monotone histogram buckets, +Inf bucket == count.
+func TestExpositionStrict(t *testing.T) {
+	t.Parallel()
+
+	var sb strings.Builder
+	if err := fullRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("strict check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# HELP plain_total an unlabeled counter",
+		"# TYPE plain_total counter",
+		"plain_total 7",
+		`labeled_total{route="/v1/simulate",code="2xx"} 3`,
+		`labeled_total{route="/metrics",code="2xx"} 42`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+		`wait_seconds_bucket{shard="1",le="+Inf"} 1`,
+		`wait_seconds_count{shard="0"} 1`,
+		"uptime_seconds 12.25",
+		`esc_total{v="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestCheckExpositionRejects feeds the strict checker known-bad
+// documents; a checker that passes garbage guards nothing.
+func TestCheckExpositionRejects(t *testing.T) {
+	t.Parallel()
+
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 1\n",
+		"bad name": "# TYPE bad-name counter\nbad-name 1\n",
+		"bad value": "# TYPE x counter\nx notanumber\n",
+		"duplicate series": "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"duplicate TYPE": "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"TYPE after sample": "# TYPE x counter\nx 1\n# TYPE y counter\n# HELP x late\n",
+		"unknown kind": "# TYPE x stuff\nx 1\n",
+		"bare histogram sample": "# TYPE h histogram\nh 1\n",
+		"histogram without +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-monotone buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf bucket != count": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"unquoted label": "# TYPE x counter\nx{a=1} 1\n",
+		"unterminated labels": "# TYPE x counter\nx{a=\"1\" 1\n",
+		"duplicate label": "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+	}
+	for name, doc := range cases {
+		if err := CheckExposition(doc); err == nil {
+			t.Errorf("%s: accepted\n%s", name, doc)
+		}
+	}
+	// And the things that must remain legal.
+	good := "# freeform comment\n" +
+		"# TYPE ok_total counter\nok_total 3\n" +
+		"# TYPE inf gauge\ninf +Inf\n"
+	if err := CheckExposition(good); err != nil {
+		t.Errorf("legal document rejected: %v", err)
+	}
+}
+
+// TestExpositionHammer races concurrent Observe/Add/Set against
+// scrapes; under -race this is the data-race proof for the lock-free
+// recording paths, and every mid-flight scrape must still pass the
+// strict checker (cumulative buckets monotone, +Inf == count).
+func TestExpositionHammer(t *testing.T) {
+	t.Parallel()
+
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "concurrent counter")
+	g := r.Gauge("hammer_gauge", "concurrent gauge")
+	hv := r.HistogramVec("hammer_seconds", "concurrent histogram", ExpBuckets(0.001, 4, 6), "lane")
+	lanes := []*Histogram{hv.With("a"), hv.With("b"), hv.With("c")}
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run against live writers.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				if err := CheckExposition(sb.String()); err != nil {
+					t.Errorf("mid-flight scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				lanes[(w+i)%len(lanes)].Observe(float64(i%100) * 0.001)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Errorf("gauge %v, want %d", got, writers*perWriter)
+	}
+	var totalObs uint64
+	var totalSum float64
+	for _, h := range lanes {
+		totalObs += h.Count()
+		totalSum += h.Sum()
+	}
+	if totalObs != writers*perWriter {
+		t.Errorf("histogram count %d, want %d", totalObs, writers*perWriter)
+	}
+	var wantSum float64
+	for i := 0; i < perWriter; i++ {
+		wantSum += float64(i%100) * 0.001
+	}
+	wantSum *= writers
+	if math.Abs(totalSum-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum %v, want ≈%v", totalSum, wantSum)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	t.Parallel()
+
+	rec := httptest.NewRecorder()
+	fullRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if err := CheckExposition(string(body)); err != nil {
+		t.Errorf("handler output invalid: %v", err)
+	}
+}

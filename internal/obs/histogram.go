@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution with a lock-free,
+// allocation-free Observe: one linear bucket scan over a handful of
+// bounds (branch-predictable for latency-shaped data), one atomic
+// bucket increment, and one CAS-loop float add for the running sum.
+// No mutex is ever taken on the observation path, so it is safe
+// inside the scheduler's dequeue path and other hot loops.
+//
+// Scrapes snapshot the per-bucket counts and derive the total count
+// from that same snapshot, so the rendered +Inf cumulative bucket
+// always equals the rendered _count exactly; the _sum is read last
+// and may run a few observations ahead under concurrency, which
+// Prometheus semantics tolerate.
+type Histogram struct {
+	// upper holds the finite bucket upper bounds, ascending and
+	// deduplicated; the overflow (+Inf) bucket is counts[len(upper)].
+	upper   []float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over normalized bounds.
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records v. NaN observations are dropped (they would poison
+// the sum and land in no meaningful bucket).
+func (h *Histogram) Observe(v float64) {
+	if v != v { // NaN
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot copies the bucket counts and returns them with the total.
+func (h *Histogram) snapshot(buf []uint64) (counts []uint64, total uint64) {
+	counts = buf[:0]
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts = append(counts, c)
+		total += c
+	}
+	return counts, total
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// normalizeBuckets validates, sorts, and deduplicates bucket bounds,
+// dropping a trailing +Inf (the overflow bucket is implicit). It
+// panics on empty or NaN bounds — bucket schemas are wired at
+// startup, never derived from request data.
+func normalizeBuckets(b []float64) []float64 {
+	out := make([]float64, 0, len(b))
+	for _, v := range b {
+		if v != v {
+			panic("obs: NaN histogram bucket bound")
+		}
+		if math.IsInf(v, +1) {
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		panic("obs: histogram needs at least one finite bucket bound")
+	}
+	sort.Float64s(out)
+	dedup := out[:1]
+	for _, v := range out[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// ExpBuckets returns count bucket bounds starting at start and
+// multiplying by factor: the standard shape for latency and size
+// distributions. start must be positive and factor > 1.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%v, %v, %d)", start, factor, count))
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default latency schema in seconds: 100µs to
+// ~100s in ×2.5 steps, wide enough to cover a cache hit and a
+// max-work simulation job in one histogram.
+func LatencyBuckets() []float64 {
+	return ExpBuckets(100e-6, 2.5, 16)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	t.Parallel()
+
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.02, 0.5, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	// NaN dropped: 5 observations. Buckets: ≤0.01 → 2 (0.005, 0.01
+	// inclusive), ≤0.1 → 1 (0.02), ≤1 → 1 (0.5), +Inf → 1 (5).
+	if got := h.Count(); got != 5 {
+		t.Errorf("count %d, want 5", got)
+	}
+	want := 0.005 + 0.01 + 0.02 + 0.5 + 5
+	if got := h.Sum(); got != want {
+		t.Errorf("sum %v, want %v", got, want)
+	}
+	counts, total := h.snapshot(nil)
+	if total != 5 {
+		t.Errorf("snapshot total %d", total)
+	}
+	for i, want := range []uint64{2, 1, 1, 1} {
+		if counts[i] != want {
+			t.Errorf("bucket %d count %d, want %d", i, counts[i], want)
+		}
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	t.Parallel()
+
+	got := normalizeBuckets([]float64{1, 0.5, 1, math.Inf(+1), 2})
+	want := []float64{0.5, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("normalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	t.Parallel()
+
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	lat := LatencyBuckets()
+	if len(lat) < 10 || lat[0] != 100e-6 {
+		t.Errorf("LatencyBuckets = %v", lat)
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Errorf("LatencyBuckets not ascending at %d: %v", i, lat)
+		}
+	}
+}
+
+func TestHistogramVecSharesBuckets(t *testing.T) {
+	t.Parallel()
+
+	r := NewRegistry()
+	v := r.HistogramVec("wait_seconds", "queue wait", []float64{0.1, 1}, "shard")
+	a, b := v.With("0"), v.With("1")
+	if a == b {
+		t.Fatal("distinct shards share a histogram")
+	}
+	a.Observe(0.05)
+	if b.Count() != 0 {
+		t.Error("observation leaked across children")
+	}
+	if again := v.With("0"); again != a {
+		t.Error("same shard returned a different histogram")
+	}
+}

@@ -1,0 +1,404 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is the strict Prometheus-text-format validator the
+// test suite and the CI metrics smoke step run against a scrape. It
+// enforces more than "Prometheus would parse this": name and label
+// charsets, HELP/TYPE appearing exactly once and before the family's
+// samples, every sample belonging to a declared family (histogram
+// samples only under histogram TYPE), parseable values, no duplicate
+// series, and — per histogram series — le-ascending monotone
+// cumulative buckets with the +Inf bucket present and exactly equal
+// to _count.
+func CheckExposition(text string) error {
+	families := make(map[string]*lintFamily)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(raw, "#") {
+			err = lintComment(raw, families)
+		} else {
+			err = lintSample(raw, families)
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w (%q)", line, err, raw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, f := range families {
+		if err := f.check(); err != nil {
+			return fmt.Errorf("family %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// lintFamily accumulates one family's declarations and samples.
+type lintFamily struct {
+	name      string
+	kind      string
+	hasHelp   bool
+	hasType   bool
+	sawSample bool
+	// series de-duplication: full sample identity (suffix + labels).
+	seen map[string]bool
+	// histogram series keyed by labels-minus-le.
+	hist map[string]*lintHistogram
+}
+
+type lintHistogram struct {
+	buckets  []lintBucket // in appearance order
+	sum      *float64
+	count    *float64
+	labelKey string
+}
+
+type lintBucket struct {
+	le  float64
+	val float64
+}
+
+func getFamily(families map[string]*lintFamily, name string) *lintFamily {
+	f, ok := families[name]
+	if !ok {
+		f = &lintFamily{name: name, seen: make(map[string]bool), hist: make(map[string]*lintHistogram)}
+		families[name] = f
+	}
+	return f
+}
+
+func lintComment(raw string, families map[string]*lintFamily) error {
+	parts := strings.SplitN(raw, " ", 4)
+	if len(parts) < 3 || parts[0] != "#" {
+		return fmt.Errorf("malformed comment")
+	}
+	keyword, name := parts[1], parts[2]
+	switch keyword {
+	case "HELP":
+		if !validName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		f := getFamily(families, name)
+		if f.hasHelp {
+			return fmt.Errorf("second HELP for %q", name)
+		}
+		if f.sawSample {
+			return fmt.Errorf("HELP for %q after its samples", name)
+		}
+		f.hasHelp = true
+	case "TYPE":
+		if !validName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(parts) != 4 {
+			return fmt.Errorf("TYPE without a type")
+		}
+		kind := parts[3]
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", kind)
+		}
+		f := getFamily(families, name)
+		if f.hasType {
+			return fmt.Errorf("second TYPE for %q", name)
+		}
+		if f.sawSample {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		f.hasType = true
+		f.kind = kind
+	default:
+		// Free-form comments are legal exposition; ignore.
+	}
+	return nil
+}
+
+// lintSample parses one `name[{labels}] value` line and files it with
+// its family.
+func lintSample(raw string, families map[string]*lintFamily) error {
+	name, labels, value, err := splitSample(raw)
+	if err != nil {
+		return err
+	}
+	if !validName(name) {
+		return fmt.Errorf("invalid sample name %q", name)
+	}
+	val, err := parseValue(value)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %w", value, err)
+	}
+	// Resolve the owning family: exact name, or histogram suffix.
+	famName, suffix := name, ""
+	if f, ok := families[name]; !ok || !f.hasType {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if f, ok := families[base]; ok && f.kind == "histogram" {
+					famName, suffix = base, s
+					break
+				}
+			}
+		}
+	}
+	f, ok := families[famName]
+	if !ok || !f.hasType {
+		return fmt.Errorf("sample %q has no preceding TYPE", name)
+	}
+	if f.kind == "histogram" && suffix == "" {
+		return fmt.Errorf("bare sample %q under histogram family", name)
+	}
+	if f.kind != "histogram" && suffix != "" {
+		return fmt.Errorf("histogram-suffixed sample %q under %s family", name, f.kind)
+	}
+	f.sawSample = true
+
+	pairs, err := parseLabels(labels)
+	if err != nil {
+		return err
+	}
+	identity := suffix + "\x1f" + labelIdentity(pairs, true)
+	if f.seen[identity] {
+		return fmt.Errorf("duplicate series %q{%s}", name, labels)
+	}
+	f.seen[identity] = true
+
+	if f.kind != "histogram" {
+		return nil
+	}
+	key := labelIdentity(pairs, false)
+	h, ok := f.hist[key]
+	if !ok {
+		h = &lintHistogram{labelKey: key}
+		f.hist[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		leStr, ok := findLabel(pairs, "le")
+		if !ok {
+			return fmt.Errorf("_bucket without le label")
+		}
+		le, err := parseValue(leStr)
+		if err != nil {
+			return fmt.Errorf("bad le %q: %w", leStr, err)
+		}
+		h.buckets = append(h.buckets, lintBucket{le: le, val: val})
+	case "_sum":
+		h.sum = &val
+	case "_count":
+		h.count = &val
+	}
+	return nil
+}
+
+// check runs the family-level invariants once every line is filed.
+func (f *lintFamily) check() error {
+	if f.sawSample && !f.hasType {
+		return fmt.Errorf("samples without TYPE")
+	}
+	for _, h := range f.hist {
+		if len(h.buckets) == 0 {
+			return fmt.Errorf("series {%s}: no buckets", h.labelKey)
+		}
+		if h.sum == nil || h.count == nil {
+			return fmt.Errorf("series {%s}: missing _sum or _count", h.labelKey)
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(last.le, +1) {
+			return fmt.Errorf("series {%s}: last bucket le=%v, want +Inf", h.labelKey, last.le)
+		}
+		for i := 1; i < len(h.buckets); i++ {
+			if h.buckets[i].le <= h.buckets[i-1].le {
+				return fmt.Errorf("series {%s}: le bounds not ascending (%v after %v)",
+					h.labelKey, h.buckets[i].le, h.buckets[i-1].le)
+			}
+			if h.buckets[i].val < h.buckets[i-1].val {
+				return fmt.Errorf("series {%s}: cumulative bucket counts not monotone (%v after %v)",
+					h.labelKey, h.buckets[i].val, h.buckets[i-1].val)
+			}
+		}
+		if last.val != *h.count {
+			return fmt.Errorf("series {%s}: +Inf bucket %v != _count %v", h.labelKey, last.val, *h.count)
+		}
+	}
+	return nil
+}
+
+// splitSample separates a sample line into name, raw label body (the
+// text inside {}), and value text.
+func splitSample(raw string) (name, labels, value string, err error) {
+	rest := raw
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		end := -1
+		inQuote := false
+		for j := 0; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", fmt.Errorf("unterminated label set")
+		}
+		labels = rest[:end]
+		rest = rest[end+1:]
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	} else {
+		return "", "", "", fmt.Errorf("sample without value")
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.ContainsAny(value, " \t") {
+		// A trailing timestamp is legal Prometheus but this writer
+		// never emits one; flag it as unexpected rather than skip it.
+		return "", "", "", fmt.Errorf("malformed value field %q", value)
+	}
+	return name, labels, value, nil
+}
+
+type labelPair struct{ name, value string }
+
+// parseLabels parses `a="x",b="y"` with escape handling.
+func parseLabels(body string) ([]labelPair, error) {
+	var pairs []labelPair
+	rest := body
+	for strings.TrimSpace(rest) != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without =")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if name == "" {
+			return nil, fmt.Errorf("empty label name")
+		}
+		for i, c := range name {
+			ok := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || (i > 0 && '0' <= c && c <= '9')
+			if !ok {
+				return nil, fmt.Errorf("invalid label name %q", name)
+			}
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		rest = rest[1:]
+		var sb strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("dangling escape")
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		pairs = append(pairs, labelPair{name: name, value: sb.String()})
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return nil, fmt.Errorf("junk after label value: %q", rest)
+		}
+		rest = rest[1:]
+	}
+	for i := range pairs {
+		for j := i + 1; j < len(pairs); j++ {
+			if pairs[i].name == pairs[j].name {
+				return nil, fmt.Errorf("duplicate label %q", pairs[i].name)
+			}
+		}
+	}
+	return pairs, nil
+}
+
+// labelIdentity renders a canonical sorted identity for a label set,
+// optionally including le (excluded to group a histogram's buckets).
+func labelIdentity(pairs []labelPair, includeLE bool) string {
+	kept := make([]labelPair, 0, len(pairs))
+	for _, p := range pairs {
+		if !includeLE && p.name == "le" {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].name < kept[j].name })
+	var sb strings.Builder
+	for _, p := range kept {
+		sb.WriteString(p.name)
+		sb.WriteByte('\x1f')
+		sb.WriteString(p.value)
+		sb.WriteByte('\x1e')
+	}
+	return sb.String()
+}
+
+// findLabel returns the named label's value.
+func findLabel(pairs []labelPair, name string) (string, bool) {
+	for _, p := range pairs {
+		if p.name == name {
+			return p.value, true
+		}
+	}
+	return "", false
+}
+
+// parseValue parses a Prometheus sample value, including ±Inf.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

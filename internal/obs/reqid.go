@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Request-scoped tracing: every request gets an ID — honoring an
+// inbound X-Request-ID when the client supplies a well-formed one —
+// that the HTTP layer stores in the request context, echoes in the
+// response headers and job objects, and threads into structured logs,
+// so a latency outlier in a histogram is greppable to the exact
+// request, job, and batch that produced it.
+
+// MaxRequestIDLen bounds accepted inbound request IDs; longer ones
+// are replaced rather than truncated (a truncated ID no longer
+// matches the client's logs, which defeats the point).
+const MaxRequestIDLen = 64
+
+type reqIDKey struct{}
+
+// reqIDFallback disambiguates IDs if the system randomness source
+// ever fails (it realistically cannot).
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqIDFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether an inbound ID is acceptable:
+// non-empty, bounded length, and printable ASCII without spaces or
+// quotes (it is echoed into headers, JSON, and log lines).
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > MaxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

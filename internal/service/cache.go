@@ -23,6 +23,12 @@ type Cache struct {
 	backend store.Store[*Report]
 	flights map[string]*flight
 
+	// hits/misses/waits classify every Do/Acquire under c.mu (the
+	// overload-retry path even un-counts an abandoned join, so these
+	// are not plain monotone atomics). They are the single source of
+	// truth for both export paths: Stats() snapshots them for /statsz,
+	// and registerCacheMetrics exposes the same numbers to /metrics
+	// through scrape-time function children.
 	hits, misses, waits uint64
 }
 

@@ -6,9 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; a Spec with MaxOptions qualities
@@ -23,32 +27,108 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/jobs/{id}       job status (+ report when done)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace completed job's trajectory as NDJSON
-//	GET    /healthz            liveness
-//	GET    /statsz             queue, cache, and traffic counters
+//	GET    /healthz            liveness (process is up)
+//	GET    /readyz             readiness (503 once draining starts)
+//	GET    /metrics            Prometheus text exposition
+//	GET    /statsz             queue, cache, and traffic counters (JSON)
+//
+// Every request is assigned a request ID (honoring a well-formed
+// inbound X-Request-ID), echoed in the X-Request-ID response header
+// and carried into submitted jobs and log lines.
 type Server struct {
 	sched *Scheduler
 	cache *Cache
 	mux   *http.ServeMux
 	start time.Time
+
+	reg     *obs.Registry
+	logger  *slog.Logger
+	metrics *httpMetrics
+
+	// draining flips once StartDrain is called; /readyz answers 503
+	// from then on while /healthz keeps reporting liveness.
+	draining atomic.Bool
 }
 
-// NewServer wires the routes.
-func NewServer(sched *Scheduler, cache *Cache) *Server {
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithObs directs the server's metrics into reg instead of the
+// scheduler's registry.
+func WithObs(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithLogger sets the structured logger for request and response
+// events. The default discards.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// NewServer wires the routes and joins the HTTP, cache, and store
+// metrics to the scheduler's registry (or the one given via WithObs),
+// so the default stack exposes the whole serving pipeline on one
+// /metrics page.
+func NewServer(sched *Scheduler, cache *Cache, opts ...ServerOption) *Server {
 	s := &Server{
 		sched: sched,
 		cache: cache,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.reg == nil {
+		s.reg = sched.Registry()
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.metrics = newHTTPMetrics(s.reg)
+	registerCacheMetrics(s.reg, cache.Stats)
+	s.reg.GaugeFunc("reprod_uptime_seconds",
+		"Seconds since the serving stack was wired.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("POST /v1/sweep", s.handleSweep)
+	s.handle("POST /v1/jobs", s.handleSubmitJob)
+	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /metrics", s.reg.Handler().ServeHTTP)
+	s.handle("GET /statsz", s.handleStatsz)
 	return s
+}
+
+// handle mounts h at pattern behind the observability middleware:
+// request-ID assignment, in-flight accounting, and per-route
+// status-class counts and latency. Route children are pre-resolved
+// here, once, so the per-request cost is one gauge add/dec, one
+// counter increment, and one histogram observe.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	rm := s.metrics.route(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		s.metrics.inflight.Inc()
+		rec := statusRecorder{ResponseWriter: w}
+		h(&rec, r)
+		s.metrics.inflight.Dec()
+		elapsed := time.Since(began)
+		rm.observe(rec.status(), elapsed)
+		s.logger.Debug("http request",
+			"route", pattern, "status", rec.status(), "duration", elapsed,
+			"request_id", id)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -56,21 +136,80 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// StartDrain flips the server into draining: /readyz starts answering
+// 503 so load balancers stop routing new work here, while everything
+// else — including /healthz liveness — keeps serving. Call it before
+// http.Server.Shutdown so in-flight requests finish behind a readiness
+// gate instead of racing closed listeners. Idempotent.
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.logger.Info("drain started: readiness now failing")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusRecorder captures the response status for the middleware (an
+// unset status means an implicit 200 on first write). It passes Flush
+// through so the live trace stream keeps working behind it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if rec.code == 0 {
+		rec.code = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (rec *statusRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (rec *statusRecorder) status() int {
+	if rec.code == 0 {
+		return http.StatusOK
+	}
+	return rec.code
+}
+
 // errorBody is every non-2xx payload.
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes the response body. An encode or write failure after
+// the headers went out cannot be reported to the client, but it must
+// not vanish either: it is counted (reprod_http_response_errors_total)
+// and logged with the request ID so truncated responses are
+// diagnosable.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v) // headers are gone; nothing useful to do on error
+	if err := enc.Encode(v); err != nil {
+		s.metrics.respErrs.Inc()
+		s.logger.Warn("response write failed",
+			"error", err, "status", status, "request_id", obs.RequestID(r.Context()))
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, errorBody{Error: err.Error()})
 }
 
 // decodeStrict decodes the request body into v, rejecting unknown
@@ -78,15 +217,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // otherwise silently decode its first document and drop the rest —
 // trailing data after the first JSON document. It writes the 400 on
 // failure.
-func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return false
 	}
 	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("decode spec: trailing data after JSON document"))
 		return false
 	}
@@ -94,18 +233,18 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // decodeSpec reads, validates, and hashes the request body.
-func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, string, bool) {
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, string, bool) {
 	var spec Spec
-	if !decodeStrict(w, r, &spec) {
+	if !s.decodeStrict(w, r, &spec) {
 		return Spec{}, "", false
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return Spec{}, "", false
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return Spec{}, "", false
 	}
 	return spec, hash, true
@@ -118,12 +257,13 @@ type simulateResponse struct {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	spec, hash, ok := decodeSpec(w, r)
+	spec, hash, ok := s.decodeSpec(w, r)
 	if !ok {
 		return
 	}
+	requestID := obs.RequestID(r.Context())
 	report, cached, err := s.cache.Do(r.Context(), hash, func() (*Report, error) {
-		job, err := s.sched.SubmitValidated(spec, hash)
+		job, err := s.sched.SubmitTraced(spec, hash, requestID)
 		if err != nil {
 			return nil, err
 		}
@@ -139,30 +279,30 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return job.Report(), nil
 	})
 	if err != nil {
-		writeSyncError(w, err)
+		s.writeSyncError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateResponse{Cached: cached, Report: report})
+	s.writeJSON(w, r, http.StatusOK, simulateResponse{Cached: cached, Report: report})
 }
 
 // writeSyncError maps a synchronous execution error onto its status
 // code (shared by /v1/simulate and /v1/sweep).
-func writeSyncError(w http.ResponseWriter, err error) {
+func (s *Server) writeSyncError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		s.writeError(w, r, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrJobTimeout):
-		writeError(w, http.StatusGatewayTimeout, err)
+		s.writeError(w, r, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client went away; status code is moot but keep the log shape.
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrBadSpec):
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 	}
 }
 
@@ -193,21 +333,21 @@ type sweepResponse struct {
 // racing a sweep that covers its spec) simulate exactly once.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var sweep SweepSpec
-	if !decodeStrict(w, r, &sweep) {
+	if !s.decodeStrict(w, r, &sweep) {
 		return
 	}
 	if err := sweep.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sweepHash, err := sweep.Hash()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	hashes, err := sweep.variantHashes()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
@@ -253,11 +393,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, publish := range publishers {
 			publish(nil, err)
 		}
-		writeSyncError(w, err)
+		s.writeSyncError(w, r, err)
 	}
 
 	if len(residualIdx) > 0 {
-		job, err := s.sched.SubmitSweep(residual, sweepHash, residualHashes)
+		job, err := s.sched.SubmitSweepTraced(residual, sweepHash, residualHashes, obs.RequestID(r.Context()))
 		if err != nil {
 			fail(err)
 			return
@@ -284,12 +424,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, jn := range joins {
 		report, err := jn.wait(r.Context())
 		if err != nil {
-			writeSyncError(w, err)
+			s.writeSyncError(w, r, err)
 			return
 		}
 		results[jn.i] = sweepVariantResult{Cached: true, Report: report}
 	}
-	writeJSON(w, http.StatusOK, sweepResponse{
+	s.writeJSON(w, r, http.StatusOK, sweepResponse{
 		SweepHash:      sweepHash,
 		Variants:       len(sweep.Variants),
 		CachedVariants: cachedCount,
@@ -302,6 +442,9 @@ type jobResponse struct {
 	ID       string    `json:"id"`
 	SpecHash string    `json:"spec_hash"`
 	Status   JobStatus `json:"status"`
+	// RequestID is the trace ID of the request that submitted the job,
+	// so async pollers can correlate the job with the submitter's logs.
+	RequestID string `json:"request_id,omitempty"`
 	// CancelRequested is set while a cancellation is pending: the job
 	// was asked to stop but has not reached a terminal state yet.
 	CancelRequested bool       `json:"cancel_requested,omitempty"`
@@ -319,6 +462,7 @@ func jobView(job *Job) jobResponse {
 		ID:              job.ID(),
 		SpecHash:        job.SpecHash(),
 		Status:          job.Status(),
+		RequestID:       job.RequestID(),
 		CancelRequested: job.CancelRequested(),
 		Report:          job.Report(),
 		Reports:         job.Reports(),
@@ -338,23 +482,23 @@ func jobView(job *Job) jobResponse {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	spec, hash, ok := decodeSpec(w, r)
+	spec, hash, ok := s.decodeSpec(w, r)
 	if !ok {
 		return
 	}
-	job, err := s.sched.SubmitValidated(spec, hash)
+	job, err := s.sched.SubmitTraced(spec, hash, obs.RequestID(r.Context()))
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusAccepted, jobView(job))
+		s.writeJSON(w, r, http.StatusAccepted, jobView(job))
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		s.writeError(w, r, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrBadSpec):
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 	}
 }
 
@@ -362,7 +506,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	job, err := s.sched.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, r, http.StatusNotFound, err)
 		return nil, false
 	}
 	return job, true
@@ -370,7 +514,7 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) 
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if job, ok := s.lookupJob(w, r); ok {
-		writeJSON(w, http.StatusOK, jobView(job))
+		s.writeJSON(w, r, http.StatusOK, jobView(job))
 	}
 }
 
@@ -410,7 +554,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	_ = job.Wait(settle) // on timeout the view below says cancel_requested
 	view := jobView(job)
-	writeJSON(w, http.StatusOK, cancelResponse{
+	s.writeJSON(w, r, http.StatusOK, cancelResponse{
 		Canceled:    view.Status == JobCanceled,
 		jobResponse: view,
 	})
@@ -435,7 +579,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	case JobDone:
 		rec := job.Trace()
 		if rec == nil {
-			writeError(w, http.StatusNotFound,
+			s.writeError(w, r, http.StatusNotFound,
 				fmt.Errorf("service: job %s recorded no trace; submit with trace_every > 0", job.ID()))
 			return
 		}
@@ -446,12 +590,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	case JobQueued, JobRunning:
 	default:
-		writeError(w, http.StatusConflict,
+		s.writeError(w, r, http.StatusConflict,
 			fmt.Errorf("service: job %s is %s and has no trace", job.ID(), job.Status()))
 		return
 	}
 	if !job.TraceRequested() {
-		writeError(w, http.StatusNotFound,
+		s.writeError(w, r, http.StatusNotFound,
 			fmt.Errorf("service: job %s records no trace; submit with trace_every > 0", job.ID()))
 		return
 	}
@@ -499,8 +643,28 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// handleHealthz is pure liveness: it answers 200 as long as the
+// process can serve at all, draining or not, so orchestrators do not
+// kill a server that is gracefully finishing its backlog.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzBody is the /readyz payload.
+type readyzBody struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+// handleReadyz is readiness: 200 while the server accepts new work,
+// 503 with draining=true once StartDrain has been called, so load
+// balancers stop routing here ahead of the listener closing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, r, http.StatusServiceUnavailable, readyzBody{Status: "draining", Draining: true})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, readyzBody{Status: "ok"})
 }
 
 // statszResponse aggregates the operational counters.
@@ -510,8 +674,8 @@ type statszResponse struct {
 	Cache         CacheStats     `json:"cache"`
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statszResponse{
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, statszResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Scheduler:     s.sched.Stats(),
 		Cache:         s.cache.Stats(),

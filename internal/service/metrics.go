@@ -1,0 +1,247 @@
+package service
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file is the single place the serving stack's metric names are
+// wired. Every component records into handles resolved here once at
+// construction (never a name lookup on a hot path), and /statsz reads
+// back from the same handles, so there is exactly one source of truth
+// per number no matter which endpoint exports it.
+//
+// Metric catalog (also documented in the repository doc.go):
+//
+//	reprod_http_requests_total{route,code}        counter   per-route requests by status class
+//	reprod_http_request_duration_seconds{route}   histogram per-route latency
+//	reprod_http_requests_inflight                 gauge     requests currently being served
+//	reprod_http_response_errors_total             counter   response encode/write failures
+//	reprod_sched_queue_wait_seconds{shard}        histogram queue-wait per shard (the SLO signal)
+//	reprod_sched_run_duration_seconds{shard}      histogram job run duration per shard
+//	reprod_sched_queue_depth{shard}               gauge     live backlog per shard
+//	reprod_sched_running                          gauge     jobs executing now
+//	reprod_sched_jobs_total{outcome}              counter   terminal jobs: done|failed|canceled
+//	reprod_sched_job_timeouts_total               counter   jobs killed by the server time limit
+//	reprod_sched_overload_rejections_total        counter   submissions shed by admission control
+//	reprod_sched_batch_size                       histogram coalesced batch sizes (jobs per batch)
+//	reprod_sched_sweep_jobs_total                 counter   executed sweep jobs
+//	reprod_sched_coalesced_batches_total          counter   coalesced batches run
+//	reprod_sched_coalesced_jobs_total             counter   jobs executed inside coalesced batches
+//	reprod_sched_solo_jobs_total                  counter   jobs executed individually
+//	reprod_sweep_tasks_total                      counter   (variant, replication) tasks fanned out
+//	reprod_sweep_engine_reuses_total              counter   tasks served by Reset-ing a cached engine
+//	reprod_sweep_engine_builds_total              counter   tasks that built a fresh engine
+//	reprod_cache_requests_total{result}           counter   cache outcomes: hit|miss|wait
+//	reprod_store_hits_total{tier}                 counter   store reads answered per tier
+//	reprod_store_evictions_total{tier}            counter   entries dropped per tier
+//	reprod_store_len{tier}                        gauge     live entries per tier
+//	reprod_store_promotions_total                 counter   disk hits promoted into memory
+//	reprod_store_spills_total                     counter   write-behind spills persisted
+//	reprod_store_spill_errors_total               counter   spills that failed to encode/append
+//	reprod_store_spill_queue_depth                gauge     write-behind backlog awaiting disk
+//	reprod_store_compactions_total                counter   segment GC passes rewriting live data
+//	reprod_store_segments_dropped_total           counter   segments deleted by GC
+//	reprod_store_read_errors_total                counter   disk reads failing CRC/IO, served as misses
+//	reprod_store_disk_bytes                       gauge     bytes across all segment files
+//	reprod_store_disk_segments                    gauge     segment file count
+//	reprod_uptime_seconds                         gauge     seconds since the server was wired
+
+// batchSizeBuckets covers coalesced batch sizes from the 2-job
+// minimum to the MaxSweepVariants-scale worst case.
+func batchSizeBuckets() []float64 {
+	return obs.ExpBuckets(2, 2, 9) // 2 .. 512, +Inf catches the rest
+}
+
+// schedMetrics are the scheduler's registered handles.
+type schedMetrics struct {
+	reg *obs.Registry
+
+	queueWait []*obs.Histogram // per shard
+	runDur    []*obs.Histogram // per shard
+	depth     []*obs.Gauge     // per shard
+	running   *obs.Gauge
+
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsCanceled *obs.Counter
+	timeouts     *obs.Counter
+	shed         *obs.Counter
+
+	batchSize   *obs.Histogram
+	sweeps      *obs.Counter
+	batches     *obs.Counter
+	batchedJobs *obs.Counter
+	soloJobs    *obs.Counter
+}
+
+// newSchedMetrics registers the scheduler families and pre-resolves
+// every per-shard child, so the dequeue and settle paths never touch
+// the registry.
+func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.SweepCounters) *schedMetrics {
+	m := &schedMetrics{reg: reg}
+	lat := obs.LatencyBuckets()
+	qw := reg.HistogramVec("reprod_sched_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up, per shard.", lat, "shard")
+	rd := reg.HistogramVec("reprod_sched_run_duration_seconds",
+		"Job execution wall-clock time, per shard.", lat, "shard")
+	dp := reg.GaugeVec("reprod_sched_queue_depth",
+		"Jobs queued and not yet picked up, per shard.", "shard")
+	for i := 0; i < workers; i++ {
+		shard := strconv.Itoa(i)
+		m.queueWait = append(m.queueWait, qw.With(shard))
+		m.runDur = append(m.runDur, rd.With(shard))
+		m.depth = append(m.depth, dp.With(shard))
+	}
+	m.running = reg.Gauge("reprod_sched_running", "Jobs executing right now.")
+
+	jobs := reg.CounterVec("reprod_sched_jobs_total",
+		"Jobs reaching a terminal state, by outcome.", "outcome")
+	m.jobsDone = jobs.With("done")
+	m.jobsFailed = jobs.With("failed")
+	m.jobsCanceled = jobs.With("canceled")
+	m.timeouts = reg.Counter("reprod_sched_job_timeouts_total",
+		"Jobs killed by the server-side job timeout (also counted failed).")
+	m.shed = reg.Counter("reprod_sched_overload_rejections_total",
+		"Submissions rejected by admission control because the shard queue was full.")
+
+	m.batchSize = reg.Histogram("reprod_sched_batch_size",
+		"Jobs per coalesced same-family batch.", batchSizeBuckets())
+	m.sweeps = reg.Counter("reprod_sched_sweep_jobs_total", "Executed sweep jobs.")
+	m.batches = reg.Counter("reprod_sched_coalesced_batches_total",
+		"Coalesced batches: drains where 2+ queued jobs shared a family.")
+	m.batchedJobs = reg.Counter("reprod_sched_coalesced_jobs_total",
+		"Single-spec jobs executed inside coalesced batches.")
+	m.soloJobs = reg.Counter("reprod_sched_solo_jobs_total",
+		"Single-spec jobs executed individually.")
+
+	// The sweep engine keeps its own atomics (internal/experiment
+	// stays dependency-free); export them as scrape-time reads.
+	reg.CounterFunc("reprod_sweep_tasks_total",
+		"(variant, replication) tasks fanned out by the sweep engine.",
+		func() float64 { return float64(sweepCtrs.Tasks.Load()) })
+	reg.CounterFunc("reprod_sweep_engine_reuses_total",
+		"Sweep tasks served by Reset-ing a worker's cached engine.",
+		func() float64 { return float64(sweepCtrs.EngineReuses.Load()) })
+	reg.CounterFunc("reprod_sweep_engine_builds_total",
+		"Sweep tasks that had to build a fresh engine.",
+		func() float64 { return float64(sweepCtrs.EngineBuilds.Load()) })
+	return m
+}
+
+// queuedTotal sums the live per-shard depth gauges.
+func (m *schedMetrics) queuedTotal() int {
+	var total float64
+	for _, g := range m.depth {
+		total += g.Value()
+	}
+	return int(total)
+}
+
+// registerCacheMetrics exports the result cache's counters and its
+// store backend's tier counters into reg. The cache and store tiers
+// keep their own counters (the cache's hit/miss/wait classification
+// lives under its single-flight mutex, and internal/store stays
+// dependency-free), so every family here is function-backed: stats()
+// snapshots the authoritative numbers at scrape time, and /statsz and
+// /metrics can never disagree.
+func registerCacheMetrics(reg *obs.Registry, stats func() CacheStats) {
+	tiers := func() store.Stats { return stats().Tiers }
+	req := reg.CounterVec("reprod_cache_requests_total",
+		"Result-cache lookups by outcome: hit (stored), miss (led a computation), wait (joined a flight).",
+		"result")
+	req.WithFunc(func() float64 { return float64(stats().Hits) }, "hit")
+	req.WithFunc(func() float64 { return float64(stats().Misses) }, "miss")
+	req.WithFunc(func() float64 { return float64(stats().Waits) }, "wait")
+
+	hits := reg.CounterVec("reprod_store_hits_total", "Store reads answered, per tier.", "tier")
+	hits.WithFunc(func() float64 { return float64(tiers().MemHits) }, "memory")
+	hits.WithFunc(func() float64 { return float64(tiers().DiskHits) }, "disk")
+	ev := reg.CounterVec("reprod_store_evictions_total", "Entries dropped, per tier.", "tier")
+	ev.WithFunc(func() float64 { return float64(tiers().MemEvictions) }, "memory")
+	ev.WithFunc(func() float64 { return float64(tiers().DiskEvictions) }, "disk")
+	ln := reg.GaugeVec("reprod_store_len", "Live entries, per tier.", "tier")
+	ln.WithFunc(func() float64 { return float64(tiers().MemLen) }, "memory")
+	ln.WithFunc(func() float64 { return float64(tiers().DiskLen) }, "disk")
+	reg.CounterFunc("reprod_store_promotions_total",
+		"Disk hits promoted into the memory tier.",
+		func() float64 { return float64(tiers().Promotions) })
+	reg.CounterFunc("reprod_store_spills_total",
+		"Write-behind spills persisted to the disk tier.",
+		func() float64 { return float64(tiers().Spills) })
+	reg.CounterFunc("reprod_store_spill_errors_total",
+		"Spills that failed to encode or append (value still in memory).",
+		func() float64 { return float64(tiers().SpillErrors) })
+	reg.GaugeFunc("reprod_store_spill_queue_depth",
+		"Write-behind backlog: puts accepted but not yet on disk.",
+		func() float64 { return float64(tiers().SpillQueueDepth) })
+	reg.CounterFunc("reprod_store_compactions_total",
+		"Segment GC passes that rewrote live records.",
+		func() float64 { return float64(tiers().Compactions) })
+	reg.CounterFunc("reprod_store_segments_dropped_total",
+		"Segments deleted by GC (compacted or evicted wholesale).",
+		func() float64 { return float64(tiers().SegmentsDropped) })
+	reg.CounterFunc("reprod_store_read_errors_total",
+		"Disk reads failing verification, served as misses.",
+		func() float64 { return float64(tiers().ReadErrors) })
+	reg.GaugeFunc("reprod_store_disk_bytes",
+		"Total size of all segment files on disk.",
+		func() float64 { return float64(tiers().DiskBytes) })
+	reg.GaugeFunc("reprod_store_disk_segments",
+		"Number of segment files on disk.",
+		func() float64 { return float64(tiers().DiskSegments) })
+}
+
+// httpMetrics are the HTTP middleware's registered handles. Children
+// are pre-resolved per route at wiring time; the per-request path does
+// one gauge add, one histogram observe, and one counter increment.
+type httpMetrics struct {
+	requests *obs.CounterVec
+	duration *obs.HistogramVec
+	inflight *obs.Gauge
+	respErrs *obs.Counter
+}
+
+// routeMetrics are one route's pre-resolved children: the latency
+// histogram and one counter per status class (1xx..5xx at index
+// class-1).
+type routeMetrics struct {
+	duration *obs.Histogram
+	byClass  [5]*obs.Counter
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("reprod_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		duration: reg.HistogramVec("reprod_http_request_duration_seconds",
+			"HTTP request latency, by route.", obs.LatencyBuckets(), "route"),
+		inflight: reg.Gauge("reprod_http_requests_inflight",
+			"HTTP requests currently being served."),
+		respErrs: reg.Counter("reprod_http_response_errors_total",
+			"Responses whose JSON encode or write failed after headers were sent."),
+	}
+}
+
+// route pre-resolves the children for one route pattern.
+func (m *httpMetrics) route(pattern string) *routeMetrics {
+	r := &routeMetrics{duration: m.duration.With(pattern)}
+	for i, class := range [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		r.byClass[i] = m.requests.With(pattern, class)
+	}
+	return r
+}
+
+// observe records one finished request.
+func (r *routeMetrics) observe(status int, elapsed time.Duration) {
+	class := status/100 - 1
+	if class < 0 || class > 4 {
+		class = 4
+	}
+	r.byClass[class].Inc()
+	r.duration.Observe(elapsed.Seconds())
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -97,6 +99,11 @@ type Job struct {
 	// sweep job).
 	coalesceKey string
 
+	// requestID is the submitting request's trace ID (may be empty);
+	// it is echoed in the job view and every log line about this job,
+	// so a latency outlier is greppable back to the exact request.
+	requestID string
+
 	sched *Scheduler
 	shard int
 
@@ -124,6 +131,10 @@ func (j *Job) ID() string { return j.id }
 
 // SpecHash returns the canonical hash of the job's spec (or sweep).
 func (j *Job) SpecHash() string { return j.hash }
+
+// RequestID returns the trace ID of the request that submitted this
+// job ("" for untraced submissions).
+func (j *Job) RequestID() string { return j.requestID }
 
 // Status returns the current lifecycle state.
 func (j *Job) Status() JobStatus {
@@ -287,6 +298,12 @@ type SchedulerConfig struct {
 	// to benchmark the unbatched path and as an operational escape
 	// hatch.
 	DisableCoalesce bool
+	// Metrics is the registry the scheduler records into. Nil gets a
+	// fresh private registry, so embedded schedulers (tests, library
+	// use) stay fully instrumented without any wiring.
+	Metrics *obs.Registry
+	// Logger receives structured job-lifecycle logs. Nil discards.
+	Logger *slog.Logger
 }
 
 // SchedulerStats is a point-in-time snapshot for /statsz.
@@ -341,18 +358,19 @@ type Scheduler struct {
 	jobs   map[string]*Job
 	doneQ  []string // finished job ids, oldest first, for retention
 
-	wg          sync.WaitGroup
-	nextID      atomic.Uint64
-	queued      atomic.Int64
-	running     atomic.Int64
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	canceled    atomic.Uint64
-	sweeps      atomic.Uint64
-	batches     atomic.Uint64
-	batchedJobs atomic.Uint64
-	soloJobs    atomic.Uint64
-	maxBatch    atomic.Int64
+	wg       sync.WaitGroup
+	nextID   atomic.Uint64
+	maxBatch atomic.Int64 // max-tracker, not exposable as a plain counter
+
+	// metrics holds every scheduler counter, gauge, and histogram
+	// handle, pre-resolved at construction. Stats() derives /statsz
+	// from these same handles, so the two export paths cannot drift.
+	metrics *schedMetrics
+	logger  *slog.Logger
+	// sweepCtrs is handed to experiment.RunSweep at both call sites so
+	// the sweep engine's fan-out and engine-cache behavior land in the
+	// registry without internal/experiment importing obs.
+	sweepCtrs experiment.SweepCounters
 }
 
 // NewScheduler validates the config and starts the workers.
@@ -378,12 +396,22 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.SweepWorkers == 0 {
 		cfg.SweepWorkers = cfg.Workers
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Scheduler{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Workers),
 		sweepGate: make(chan struct{}, cfg.SweepWorkers),
 		jobs:      make(map[string]*Job),
+		logger:    logger,
 	}
+	s.metrics = newSchedMetrics(reg, cfg.Workers, &s.sweepCtrs)
 	for i := range s.shards {
 		sh := &shard{}
 		sh.cond = sync.NewCond(&sh.mu)
@@ -424,9 +452,18 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 // hot serving path does not validate — and in particular does not
 // build a throwaway core.Group — twice per request.
 func (s *Scheduler) SubmitValidated(spec Spec, hash string) (*Job, error) {
+	return s.SubmitTraced(spec, hash, "")
+}
+
+// SubmitTraced is SubmitValidated carrying the submitting request's
+// trace ID: the job echoes it in its API view and every log line about
+// the job, so a slow or failed job is greppable back to the exact
+// request that caused it.
+func (s *Scheduler) SubmitTraced(spec Spec, hash, requestID string) (*Job, error) {
 	job := s.newJob(hash)
 	job.spec = spec
 	job.coalesceKey = spec.familyKey()
+	job.requestID = requestID
 	return s.enqueue(job)
 }
 
@@ -435,11 +472,24 @@ func (s *Scheduler) SubmitValidated(spec Spec, hash string) (*Job, error) {
 // per-variant work), executed as one vectorized batch. variantHashes
 // are the single-spec cache keys of the sweep's variants, in order.
 func (s *Scheduler) SubmitSweep(sw SweepSpec, hash string, variantHashes []string) (*Job, error) {
+	return s.SubmitSweepTraced(sw, hash, variantHashes, "")
+}
+
+// SubmitSweepTraced is SubmitSweep carrying the submitting request's
+// trace ID (see SubmitTraced).
+func (s *Scheduler) SubmitSweepTraced(sw SweepSpec, hash string, variantHashes []string, requestID string) (*Job, error) {
 	job := s.newJob(hash)
 	job.sweep = &sw
 	job.variantHashes = variantHashes
+	job.requestID = requestID
 	return s.enqueue(job)
 }
+
+// Registry returns the metrics registry this scheduler records into
+// (the configured one, or the private default), so callers stacking
+// more components on the same scheduler — the HTTP server, the result
+// cache — can join their metrics to it.
+func (s *Scheduler) Registry() *obs.Registry { return s.metrics.reg }
 
 // newJob allocates a job shell for the given canonical hash.
 func (s *Scheduler) newJob(hash string) *Job {
@@ -481,12 +531,15 @@ func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 		sh.mu.Unlock()
 		s.forget(job.id)
 		job.cancel()
+		s.metrics.shed.Inc()
+		s.logger.Warn("job shed: shard queue full",
+			"shard", job.shard, "spec_hash", job.hash, "request_id", job.requestID)
 		return nil, ErrOverloaded
 	}
 	sh.queue = append(sh.queue, job)
 	sh.cond.Signal()
 	sh.mu.Unlock()
-	s.queued.Add(1)
+	s.metrics.depth[job.shard].Inc()
 	return job, nil
 }
 
@@ -516,9 +569,11 @@ func (s *Scheduler) reapQueued(job *Job) {
 	if !found {
 		return
 	}
-	s.queued.Add(-1)
-	s.canceled.Add(1)
+	s.metrics.depth[job.shard].Dec()
+	s.metrics.jobsCanceled.Inc()
 	job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
+	s.logger.Info("job canceled while queued",
+		"job", job.id, "spec_hash", job.hash, "request_id", job.requestID)
 	s.retire(job)
 }
 
@@ -533,21 +588,24 @@ func (s *Scheduler) Job(id string) (*Job, error) {
 	return job, nil
 }
 
-// Stats snapshots the pool state.
+// Stats snapshots the pool state. Every number is read from the same
+// registry handles GET /metrics exports, so /statsz is a JSON view of
+// the Prometheus data, not a parallel set of counters.
 func (s *Scheduler) Stats() SchedulerStats {
+	m := s.metrics
 	st := SchedulerStats{
 		Workers:      s.cfg.Workers,
 		QueueDepth:   s.cfg.QueueDepth,
 		SweepWorkers: s.cfg.SweepWorkers,
-		Queued:       int(s.queued.Load()),
-		Running:      int(s.running.Load()),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
-		Canceled:     s.canceled.Load(),
-		Sweeps:       s.sweeps.Load(),
-		Batches:      s.batches.Load(),
-		BatchedJobs:  s.batchedJobs.Load(),
-		SoloJobs:     s.soloJobs.Load(),
+		Queued:       m.queuedTotal(),
+		Running:      int(m.running.Value()),
+		Completed:    m.jobsDone.Value(),
+		Failed:       m.jobsFailed.Value(),
+		Canceled:     m.jobsCanceled.Value(),
+		Sweeps:       m.sweeps.Value(),
+		Batches:      m.batches.Value(),
+		BatchedJobs:  m.batchedJobs.Value(),
+		SoloJobs:     m.soloJobs.Value(),
 		MaxBatch:     s.maxBatch.Load(),
 	}
 	if total := st.BatchedJobs + st.SoloJobs; total > 0 {
@@ -633,15 +691,18 @@ func (s *Scheduler) runBatch(batch []*Job) {
 }
 
 // dequeue transitions a job out of the pending state; it returns false
-// after finishing the job when it was canceled while queued.
+// after finishing the job when it was canceled while queued. Queue
+// wait is observed only for jobs that go on to run — a canceled job's
+// time in queue is not a latency sample.
 func (s *Scheduler) dequeue(job *Job) bool {
-	s.queued.Add(-1)
+	s.metrics.depth[job.shard].Dec()
 	if job.ctx.Err() != nil {
-		s.canceled.Add(1)
+		s.metrics.jobsCanceled.Inc()
 		job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
 		s.retire(job)
 		return false
 	}
+	s.metrics.queueWait[job.shard].Observe(time.Since(job.created).Seconds())
 	return true
 }
 
@@ -651,7 +712,7 @@ func (s *Scheduler) runJob(job *Job) {
 		return
 	}
 	if job.sweep == nil {
-		s.soloJobs.Add(1)
+		s.metrics.soloJobs.Inc()
 	}
 	s.execute(job)
 }
@@ -682,40 +743,66 @@ func (s *Scheduler) rewriteTimeout(ctx context.Context, err error) error {
 	return err
 }
 
-// settle records a job's terminal state from its execution error.
+// settle records a job's terminal state from its execution error,
+// observing run duration (when the job actually started) and emitting
+// the job's terminal log line.
 func (s *Scheduler) settle(job *Job, report *Report, rec *trace.Recorder, err error) {
+	dur := s.observeRun(job)
 	switch {
 	case err == nil:
-		s.completed.Add(1)
+		s.metrics.jobsDone.Inc()
 		job.finish(JobDone, report, rec, nil)
+		s.logger.Info("job done",
+			"job", job.id, "spec_hash", job.hash, "run_duration", dur,
+			"request_id", job.requestID)
 	case errors.Is(err, context.Canceled):
-		s.canceled.Add(1)
+		s.metrics.jobsCanceled.Inc()
 		job.finish(JobCanceled, nil, nil, err)
+		s.logger.Info("job canceled",
+			"job", job.id, "spec_hash", job.hash, "request_id", job.requestID)
 	default:
-		s.failed.Add(1)
+		if errors.Is(err, ErrJobTimeout) {
+			s.metrics.timeouts.Inc()
+		}
+		s.metrics.jobsFailed.Inc()
 		job.finish(JobFailed, nil, nil, err)
+		s.logger.Warn("job failed",
+			"job", job.id, "spec_hash", job.hash, "error", err,
+			"request_id", job.requestID)
 	}
 	s.retire(job)
+}
+
+// observeRun records a finishing job's run duration into its shard's
+// histogram; zero (and unobserved) when the job never started.
+func (s *Scheduler) observeRun(job *Job) time.Duration {
+	_, started, _ := job.Times()
+	if started.IsZero() {
+		return 0
+	}
+	dur := time.Since(started)
+	s.metrics.runDur[job.shard].Observe(dur.Seconds())
+	return dur
 }
 
 // execute runs a started job to its terminal state.
 func (s *Scheduler) execute(job *Job) {
 	ctx, cancel := s.start(job)
 	defer cancel()
-	s.running.Add(1)
+	s.metrics.running.Inc()
 	if job.sweep != nil {
 		s.runSweepJob(ctx, job)
-		s.running.Add(-1)
+		s.metrics.running.Dec()
 		return
 	}
 	report, rec, err := runSpec(ctx, &job.spec, job.hash, job.setLiveTrace)
-	s.running.Add(-1)
+	s.metrics.running.Dec()
 	s.settle(job, report, rec, s.rewriteTimeout(ctx, err))
 }
 
 // runSweepJob executes a sweep job's variants as one vectorized batch.
 func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
-	s.sweeps.Add(1)
+	s.metrics.sweeps.Inc()
 	sw := job.sweep
 	variants := make([]experiment.SweepVariant, len(sw.Variants))
 	for i := range sw.Variants {
@@ -730,8 +817,9 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 		}
 	}
 	results, err := experiment.RunSweep(ctx, sw.familyConfig(), variants, experiment.SweepOptions{
-		Workers: s.cfg.SweepWorkers,
-		Gate:    s.sweepGate,
+		Workers:  s.cfg.SweepWorkers,
+		Gate:     s.sweepGate,
+		Counters: &s.sweepCtrs,
 	})
 	if err != nil {
 		s.settle(job, nil, nil, err)
@@ -746,8 +834,12 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 		spec := sw.variantSpec(i)
 		reports[i] = variantReport(job.variantHashes[i], &spec, res)
 	}
-	s.completed.Add(1)
+	dur := s.observeRun(job)
+	s.metrics.jobsDone.Inc()
 	job.finishSweep(reports)
+	s.logger.Info("sweep job done",
+		"job", job.id, "spec_hash", job.hash, "variants", len(reports),
+		"run_duration", dur, "request_id", job.requestID)
 	s.retire(job)
 }
 
@@ -765,13 +857,14 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 	case 0:
 		return
 	case 1:
-		s.soloJobs.Add(1)
+		s.metrics.soloJobs.Inc()
 		s.execute(live[0])
 		return
 	}
 	n := int64(len(live))
-	s.batches.Add(1)
-	s.batchedJobs.Add(uint64(n))
+	s.metrics.batches.Inc()
+	s.metrics.batchedJobs.Add(uint64(n))
+	s.metrics.batchSize.Observe(float64(n))
 	for {
 		cur := s.maxBatch.Load()
 		if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
@@ -804,10 +897,10 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 			},
 		}
 	}
-	s.running.Add(n)
+	s.metrics.running.Add(float64(n))
 	results, err := experiment.RunSweep(context.Background(), live[0].spec.coreConfig(0), variants,
-		experiment.SweepOptions{Workers: s.cfg.SweepWorkers, Gate: s.sweepGate})
-	s.running.Add(-n)
+		experiment.SweepOptions{Workers: s.cfg.SweepWorkers, Gate: s.sweepGate, Counters: &s.sweepCtrs})
+	s.metrics.running.Add(float64(-n))
 	for _, cancel := range cancels {
 		if cancel != nil {
 			cancel()

@@ -82,4 +82,10 @@ type Stats struct {
 	Promotions  uint64 `json:"promotions,omitempty"`
 	Spills      uint64 `json:"spills,omitempty"`
 	SpillErrors uint64 `json:"spill_errors,omitempty"`
+	// SpillQueueDepth is the live write-behind backlog: puts accepted
+	// by the memory tier but not yet persisted. A depth that grows
+	// without bound means the disk tier cannot keep up with the put
+	// rate (the queue is deliberately unbounded to keep Put off the
+	// I/O path), so it is the tiered store's saturation signal.
+	SpillQueueDepth int `json:"spill_queue_depth,omitempty"`
 }

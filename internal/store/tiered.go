@@ -155,6 +155,9 @@ func (t *Tiered[V]) Stats() Stats {
 	s.Promotions = t.promotions.Load()
 	s.Spills = t.spills.Load()
 	s.SpillErrors = t.spillErrors.Load()
+	t.qmu.Lock()
+	s.SpillQueueDepth = len(t.queue)
+	t.qmu.Unlock()
 	return s
 }
 
