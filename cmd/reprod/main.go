@@ -56,14 +56,14 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker shards executing jobs")
-		queue    = fs.Int("queue", 64, "queued jobs per shard before admission control sheds load")
-		cache    = fs.Int("cache", 1024, "cached reports (0 disables storage, keeps single-flight)")
-		retain   = fs.Int("retain", 1024, "finished jobs kept queryable")
-		jobTime  = fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock limit once running (0 disables)")
-		sweepW   = fs.Int("sweep-workers", 0, "fan-out of one batched sweep (0 = workers)")
-		coalesce = fs.Bool("coalesce", true, "batch concurrently queued same-family specs into one vectorized sweep")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker shards executing jobs")
+		queue      = fs.Int("queue", 64, "queued jobs per shard before admission control sheds load")
+		cache      = fs.Int("cache", 1024, "cached reports (0 disables storage, keeps single-flight)")
+		retain     = fs.Int("retain", 1024, "finished jobs kept queryable")
+		jobTime    = fs.Duration("job-timeout", 2*time.Minute, "per-job wall-clock limit once running (0 disables)")
+		sweepW     = fs.Int("sweep-workers", 0, "fan-out of one batched sweep (0 = workers)")
+		coalesce   = fs.Bool("coalesce", true, "batch concurrently queued same-family specs into one vectorized sweep")
 		drainFor   = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
 		drainGrace = fs.Duration("drain-grace", 0, "pause between failing readiness (/readyz 503) and closing listeners, so load balancers stop routing first")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")

@@ -69,22 +69,64 @@
 // recycles whole engines across (variant, replication) tasks via
 // core.Group.Reset instead of reallocating per run.
 //
+// # The draw-order contract (versioned)
+//
 // The RNG draw order is a compatibility surface: a spec must replay to
-// a bit-identical Report across versions, because cache keys, sweep
-// bit-identity, and the persistent result store all assume it. Every
-// optimization above consumes exactly the draw sequence of the code it
-// replaced; golden_test.go pins seeded reports for all four engines,
-// and any change that shifts a draw must deliberately regenerate those
-// fixtures and release-note the break. See the internal/rng package
-// docs for the frozen draw-kernel formulas.
+// a bit-identical Report forever, because cache keys, sweep
+// bit-identity, and the persistent result store all assume it. It is
+// versioned rather than frozen — a spec's optional "draw_order" field
+// ("v1" default, "v2" opt-in) names which contract it replays under,
+// and the version participates in the spec hash, so results computed
+// under different versions never collide in the cache or the store.
+//
+// v1 (default, frozen): replication r of a spec with seed s runs on a
+// generator seeded rng.SeedFor(s, r), and each engine consumes the
+// per-trajectory draw sequence documented in internal/rng and
+// internal/population. Every v1 optimization to date consumes exactly
+// the draw sequence of the code it replaced; the v1 path is untouched
+// by v2 and persisted v1 results replay forever.
+//
+// v2 (opt-in, replication-vectorized): replication lane k runs on a
+// generator seeded rng.StripeSeed(s, k) — an independent stream per
+// lane, numbered globally, so any partition of the lanes into blocks
+// replays bit-identically (block width is scheduling, not contract).
+// For the population engines v2 also changes the law's sampling
+// granularity from agents to counts: per lane and step, the
+// environment's m reward draws, then one stage-1 multinomial over the
+// sampling distribution (conditional-binomial decomposition, ascending
+// category order), then m stage-2 adoption binomials ascending —
+// O(m) draws per step instead of O(N), equal in law to the per-agent
+// walk by exchangeability (homogeneous rules only; heterogeneous specs
+// stay on v1). Under v2 the agent and aggregate engines therefore
+// produce identical draw sequences. experiment.RunSweep executes v2
+// replications in blocks of experiment.BlockLanes lanes through the
+// StepBlock structure-of-arrays kernels.
+//
+// Choosing a version: v2 is the replication-heavy sweep contract —
+// small-to-moderate m with many replications is where the counts-based
+// law wins (the ≥2× BenchmarkSweepBlock pin); for wide-m, small-N
+// agent specs the v1 per-agent walk remains the faster path, and v1 is
+// always correct. The reprod_core_draw_order{version} gauge shows
+// which versions have served traffic.
+//
+// Adding a v3 later is additive, never mutating: a new lane-seeding
+// schedule (like StripeSeed) or kernel family, a new spec token
+// admitted by service validation and folded into the hash, a new
+// golden fixture table in golden_test.go (regenerated via
+// GOLDEN_PRINT=1, per version), and cross-version durability tests
+// proving old stores still replay. Existing version paths and their
+// fixtures must stay byte-for-byte; any change that shifts a draw
+// within a version is a break and must instead become a new version.
 //
 // Perf quickstart — the core step benchmarks and their pins (≥2×
 // agent-engine and ≥1.5× aggregate-engine step throughput vs the
-// pre-refit implementations, asserted in-benchmark; allocation pins in
-// TestCoreStepAllocs):
+// pre-refit implementations; ≥2× v2-over-v1 on the replication-block
+// sweep workload, asserted in-benchmark; allocation pins in
+// TestCoreStepAllocs and TestBlockStepAllocs):
 //
-//	go test -run '^$' -bench BenchmarkCoreStep -benchtime 1x .
-//	go test -run TestCoreStepAllocs .
+//	go test -run '^$' -bench 'BenchmarkCoreStep$' -benchtime 1x .
+//	go test -run '^$' -bench 'BenchmarkCoreStepBlock|BenchmarkSweepBlock' .
+//	go test -run 'TestCoreStepAllocs|TestBlockStepAllocs' .
 //
 // # Observability quickstart
 //
@@ -126,6 +168,7 @@
 //	sched_coalesced_batches_total          counter   coalesced batches run
 //	sched_coalesced_jobs_total             counter   jobs inside coalesced batches
 //	sched_solo_jobs_total                  counter   jobs executed individually
+//	core_draw_order{version}               gauge     info: draw-order versions executed (v1|v2)
 //	sweep_tasks_total                      counter   (variant, replication) fan-out
 //	sweep_engine_reuses_total              counter   tasks served by engine Reset
 //	sweep_engine_builds_total              counter   tasks building a fresh engine

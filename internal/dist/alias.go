@@ -43,18 +43,9 @@ func NewAlias(weights []float64) (*Alias, error) {
 // a given length, Rebuild allocates nothing.
 func (a *Alias) Rebuild(weights []float64) error {
 	m := len(weights)
-	if m == 0 {
-		return fmt.Errorf("%w: alias with no weights", ErrBadParam)
-	}
-	total := 0.0
-	for j, w := range weights {
-		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-			return fmt.Errorf("%w: alias weight[%d]=%v", ErrBadParam, j, w)
-		}
-		total += w
-	}
-	if total <= 0 {
-		return fmt.Errorf("%w: alias weights sum to %v", ErrBadParam, total)
+	total, err := aliasTotal(weights)
+	if err != nil {
+		return err
 	}
 	a.prob = resizeFloats(a.prob, m)
 	a.scaled = resizeFloats(a.scaled, m)
@@ -62,11 +53,44 @@ func (a *Alias) Rebuild(weights []float64) error {
 	// Worklists are pre-sized to their m-element worst case so no
 	// append during redistribution can ever grow them: the first
 	// Rebuild of a given length is the last allocation.
-	small := resizeInts(a.small, m)[:0]
-	large := resizeInts(a.large, m)[:0]
+	a.small = resizeInts(a.small, m)[:0]
+	a.large = resizeInts(a.large, m)[:0]
+	a.thresh = resizeFloats(a.thresh, m)
+	buildAliasInto(weights, total, a.prob, a.alias, a.thresh, a.scaled, a.small, a.large)
+	return nil
+}
+
+// aliasTotal validates an alias weight vector (non-empty, finite,
+// non-negative, positive sum) and returns its total, without touching
+// any table state — a failed Rebuild must leave the table unchanged.
+func aliasTotal(weights []float64) (float64, error) {
+	if len(weights) == 0 {
+		return 0, fmt.Errorf("%w: alias with no weights", ErrBadParam)
+	}
+	total := 0.0
 	for j, w := range weights {
-		a.scaled[j] = w / total * float64(m)
-		if a.scaled[j] < 1 {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return 0, fmt.Errorf("%w: alias weight[%d]=%v", ErrBadParam, j, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("%w: alias weights sum to %v", ErrBadParam, total)
+	}
+	return total, nil
+}
+
+// buildAliasInto is the deterministic Vose construction behind
+// Alias.Rebuild: it fills prob, alias, and
+// thresh (prob pre-scaled by 2⁵³) for the validated weights, using
+// scaled plus the small/large worklists as scratch. All destinations
+// are length m = len(weights); the worklists need capacity m and are
+// passed length 0.
+func buildAliasInto(weights []float64, total float64, prob []float64, alias []int, thresh, scaled []float64, small, large []int) {
+	m := len(weights)
+	for j, w := range weights {
+		scaled[j] = w / total * float64(m)
+		if scaled[j] < 1 {
 			small = append(small, j)
 		} else {
 			large = append(large, j)
@@ -77,10 +101,10 @@ func (a *Alias) Rebuild(weights []float64) error {
 		small = small[:len(small)-1]
 		l := large[len(large)-1]
 		large = large[:len(large)-1]
-		a.prob[s] = a.scaled[s]
-		a.alias[s] = l
-		a.scaled[l] -= 1 - a.scaled[s]
-		if a.scaled[l] < 1 {
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - prob[s]
+		if scaled[l] < 1 {
 			small = append(small, l)
 		} else {
 			large = append(large, l)
@@ -88,20 +112,16 @@ func (a *Alias) Rebuild(weights []float64) error {
 	}
 	// Rounding leftovers: every remaining column keeps its own index.
 	for _, j := range large {
-		a.prob[j] = 1
-		a.alias[j] = j
+		prob[j] = 1
+		alias[j] = j
 	}
 	for _, j := range small {
-		a.prob[j] = 1
-		a.alias[j] = j
+		prob[j] = 1
+		alias[j] = j
 	}
-	a.small = small[:0]
-	a.large = large[:0]
-	a.thresh = resizeFloats(a.thresh, m)
-	for j, p := range a.prob {
-		a.thresh[j] = p * (1 << 53)
+	for j, p := range prob[:m] {
+		thresh[j] = p * (1 << 53)
 	}
-	return nil
 }
 
 func resizeFloats(buf []float64, m int) []float64 {

@@ -15,6 +15,18 @@ import (
 // context checks for a sweep task whose variant does not set one.
 const defaultSweepCheckEvery = 2048
 
+// BlockLanes is the replication-block width used for draw_order v2
+// variants: each task advances up to this many replications ("lanes")
+// together through one structure-of-arrays block group. The value is a
+// scheduling/memory choice, not part of the v2 contract — every lane
+// draws only from its own rng stream, so any partition of a variant's
+// replications into blocks replays bit-identically (pinned by the
+// chunk-invariance tests in internal/core). 32 lanes keeps a block's
+// SoA state (O(lanes·m) plus one shared engine) small enough to stay
+// cache-resident for the paper's option counts while amortizing
+// per-step scheduling and engine-reuse overhead across many lanes.
+const BlockLanes = 32
+
 // SweepVariant is one member of a parameter sweep: the axes that vary
 // across runs of a shared (qualities, β, µ) family.
 type SweepVariant struct {
@@ -49,6 +61,15 @@ type SweepVariant struct {
 	// so a job queued behind batch peers is not expired by work it
 	// never ran).
 	OnStart func() context.Context
+	// DrawOrder selects the variant's draw-order contract. "" and "v1"
+	// schedule one (variant, replication) task per replication, each
+	// seeded SeedFor(Seed, rep) — the frozen v1 order, bit-identical to
+	// running the variant alone. "v2" schedules replication BLOCKS of
+	// up to BlockLanes lanes, each lane seeded rng.StripeSeed(Seed,
+	// rep) with its own independent stream; results differ from v1 by
+	// design (distinct contract), but are invariant to block
+	// partitioning and worker count. Anything else is ErrBadOptions.
+	DrawOrder string
 }
 
 // SweepResult is the outcome of one variant. When Err is nil the
@@ -79,8 +100,10 @@ type SweepResult struct {
 // across RunSweep calls and export however it likes — the serving
 // layer reads them into its metrics registry at scrape time.
 type SweepCounters struct {
-	// Tasks counts (variant, replication) tasks that actually began
-	// executing (acquired the gate and passed the context checks).
+	// Tasks counts scheduler tasks that actually began executing
+	// (acquired the gate and passed the context checks): one per
+	// replication for v1 variants, one per replication BLOCK for v2
+	// variants.
 	Tasks atomic.Uint64
 	// EngineReuses counts tasks served by Reset-ing the worker's
 	// cached engine; EngineBuilds counts tasks that built a fresh one.
@@ -93,8 +116,9 @@ type SweepCounters struct {
 
 // SweepOptions bounds the sweep's fan-out.
 type SweepOptions struct {
-	// Workers caps the number of concurrent (variant, replication)
-	// tasks of this sweep; 0 selects GOMAXPROCS.
+	// Workers caps the number of concurrent tasks (replications, or
+	// replication blocks for v2 variants) of this sweep; 0 selects
+	// GOMAXPROCS.
 	Workers int
 	// Gate, when non-nil, is a shared buffered channel acquired (send)
 	// around each task's simulation work, bounding the AGGREGATE
@@ -129,7 +153,10 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 	if err != nil {
 		return nil, fmt.Errorf("experiment: sweep family: %w", err)
 	}
-	type task struct{ v, rep int }
+	// A task is either one v1 replication (lanes == 0, seeded
+	// SeedFor(Seed, rep)) or one v2 replication block covering lanes
+	// replications [rep, rep+lanes) of the variant.
+	type task struct{ v, rep, lanes int }
 	var tasks []task
 	reps := make([]int, len(variants))
 	for v := range variants {
@@ -140,8 +167,21 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 		if reps[v] <= 0 {
 			reps[v] = 1
 		}
-		for rep := 0; rep < reps[v]; rep++ {
-			tasks = append(tasks, task{v, rep})
+		switch variants[v].DrawOrder {
+		case "", "v1":
+			for rep := 0; rep < reps[v]; rep++ {
+				tasks = append(tasks, task{v, rep, 0})
+			}
+		case "v2":
+			for rep := 0; rep < reps[v]; rep += BlockLanes {
+				lanes := reps[v] - rep
+				if lanes > BlockLanes {
+					lanes = BlockLanes
+				}
+				tasks = append(tasks, task{v, rep, lanes})
+			}
+		default:
+			return nil, fmt.Errorf("%w: variant %d draw order %q", ErrBadOptions, v, variants[v].DrawOrder)
 		}
 	}
 
@@ -194,6 +234,7 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 			// environment is the stateless IID Bernoulli), so
 			// scheduling order still cannot affect results.
 			var cached sweepGroupCache
+			var blockCached sweepBlockCache
 			for tk := range next {
 				v := &variants[tk.v]
 				// The gate wait watches the variant's ORIGINAL Ctx —
@@ -201,7 +242,7 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 				// first task's Once.Do, and only reads that happen
 				// after our own Do below are ordered against it.
 				if err := acquireGate(ctx, v.Ctx, opt.Gate); err != nil {
-					errs[tk.v][tk.rep] = err
+					markTaskErr(errs[tk.v], tk.rep, tk.lanes, err)
 					continue
 				}
 				starts[tk.v].Do(func() {
@@ -213,6 +254,19 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 				})
 				if opt.Counters != nil {
 					opt.Counters.Tasks.Add(1)
+				}
+				if tk.lanes > 0 {
+					eta1, err := runSweepBlock(ctx, vctxs[tk.v], tmpl, v, tk.rep, tk.lanes,
+						avgs[tk.v], pops[tk.v], &blockCached, opt.Counters)
+					if opt.Gate != nil {
+						<-opt.Gate
+					}
+					if err != nil {
+						markTaskErr(errs[tk.v], tk.rep, tk.lanes, err)
+						continue
+					}
+					bestQOnce.Do(func() { bestQ = eta1 })
+					continue
 				}
 				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep, &cached, opt.Counters)
 				if opt.Gate != nil {
@@ -310,6 +364,105 @@ func sweepGroup(tmpl *core.Template, v *SweepVariant, seed uint64, cached *sweep
 	}
 	cached.key, cached.g = key, g
 	return g, nil
+}
+
+// markTaskErr records a task failure for every replication the task
+// covered: one slot for a v1 single (lanes == 0), the block's span for
+// a v2 block task.
+func markTaskErr(errs []error, rep, lanes int, err error) {
+	if lanes <= 0 {
+		errs[rep] = err
+		return
+	}
+	for k := 0; k < lanes; k++ {
+		errs[rep+k] = err
+	}
+}
+
+// blockKey identifies the shape a cached block group can be Reset into
+// serving. Width is part of the key: Reset keeps a block's lane count,
+// so a variant's tail block (fewer than BlockLanes replications) never
+// reuses the full-width group. Tail misses are at most one per
+// variant.
+type blockKey struct {
+	n      int
+	engine core.EngineKind
+	lanes  int
+}
+
+// sweepBlockCache is the v2 counterpart of sweepGroupCache: one cached
+// block group per worker, the last shape it ran.
+type sweepBlockCache struct {
+	key blockKey
+	g   *core.BlockGroup
+}
+
+// sweepBlock returns a block group for the variant shape at (seed,
+// lane0), reusing the worker's cached block via Reset when the shape
+// matches. Reset replays a fresh block bit for bit (template families
+// are always the stateless IID Bernoulli), so cache hits cannot affect
+// results.
+func sweepBlock(tmpl *core.Template, v *SweepVariant, lane0, lanes int, cached *sweepBlockCache, ctrs *SweepCounters) (*core.BlockGroup, error) {
+	key := blockKey{n: v.N, engine: v.Engine, lanes: lanes}
+	if v.N == 0 {
+		key.engine = 0 // the infinite process ignores the engine axis
+	}
+	if cached.g != nil && cached.key == key {
+		if err := cached.g.Reset(v.Seed, lane0); err == nil {
+			if ctrs != nil {
+				ctrs.EngineReuses.Add(1)
+			}
+			return cached.g, nil
+		}
+		cached.g = nil
+	}
+	g, err := tmpl.NewBlock(v.N, v.Engine, v.Seed, lane0, lanes)
+	if err != nil {
+		return nil, err
+	}
+	if ctrs != nil {
+		ctrs.EngineBuilds.Add(1)
+	}
+	cached.key, cached.g = key, g
+	return g, nil
+}
+
+// runSweepBlock runs one v2 replication block — lanes replications
+// [lane0, lane0+lanes) of one variant — writing each lane's results
+// into the variant's avgs/pops slots directly, so the merge path is
+// identical to v1's. A block step advances every lane, so the context
+// check interval shrinks by the lane count to keep cancellation
+// latency comparable in simulated work.
+func runSweepBlock(ctx, vctx context.Context, tmpl *core.Template, v *SweepVariant, lane0, lanes int, avgs []float64, pops [][]float64, cached *sweepBlockCache, ctrs *SweepCounters) (eta1 float64, err error) {
+	if err := sweepCtxErr(ctx, vctx); err != nil {
+		return 0, err
+	}
+	g, err := sweepBlock(tmpl, v, lane0, lanes, cached, ctrs)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: sweep block at replication %d: %w", lane0, err)
+	}
+	checkEvery := v.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = defaultSweepCheckEvery
+	}
+	if checkEvery = checkEvery / lanes; checkEvery < 1 {
+		checkEvery = 1
+	}
+	for t := 1; t <= v.Steps; t++ {
+		if t%checkEvery == 0 {
+			if err := sweepCtxErr(ctx, vctx); err != nil {
+				return 0, err
+			}
+		}
+		if err := g.StepBlock(); err != nil {
+			return 0, fmt.Errorf("experiment: sweep block step %d: %w", t, err)
+		}
+	}
+	for k := 0; k < lanes; k++ {
+		avgs[lane0+k] = g.CumulativeGroupReward(k) / float64(v.Steps)
+		pops[lane0+k] = g.AppendPopularity(k, nil)
+	}
+	return g.BestQuality(), nil
 }
 
 // runSweepTask runs one replication of one variant, checking the sweep

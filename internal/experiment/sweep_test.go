@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -247,5 +248,173 @@ func TestRunSweepBadOptions(t *testing.T) {
 	if _, err := RunSweep(context.Background(), bad,
 		[]SweepVariant{{N: 10, Steps: 10, Seed: 1}}, SweepOptions{}); err == nil {
 		t.Error("invalid family accepted")
+	}
+}
+
+// serialVariantV2 is the unbatched v2 reference: one single-lane block
+// group per replication (lane0 = rep, the narrowest legal partition),
+// merged in replication order. The block scheduler must match it bit
+// for bit whatever its block width or worker count — the
+// chunk-invariance half of the v2 contract, exercised end to end.
+func serialVariantV2(t *testing.T, proto core.Config, v SweepVariant) SweepResult {
+	t.Helper()
+	reps := v.Replications
+	if reps <= 0 {
+		reps = 1
+	}
+	var regrets stats.Summary
+	var rewardMean, bestQ float64
+	var popSum []float64
+	for rep := 0; rep < reps; rep++ {
+		cfg := proto
+		cfg.N = v.N
+		cfg.Engine = v.Engine
+		cfg.Seed = v.Seed
+		g, err := core.NewBlock(cfg, rep, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < v.Steps; s++ {
+			if err := g.StepBlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := g.CumulativeGroupReward(0) / float64(v.Steps)
+		bestQ = g.BestQuality()
+		regrets.Add(bestQ - avg)
+		rewardMean += (avg - rewardMean) / float64(rep+1)
+		pop := g.AppendPopularity(0, nil)
+		if popSum == nil {
+			popSum = make([]float64, len(pop))
+		}
+		for j := range pop {
+			popSum[j] += pop[j]
+		}
+	}
+	for j := range popSum {
+		popSum[j] /= float64(reps)
+	}
+	return SweepResult{
+		BestQuality:        bestQ,
+		AverageGroupReward: rewardMean,
+		Regret:             regrets.Mean(),
+		RegretStdDev:       regrets.StdDev(),
+		Popularity:         popSum,
+	}
+}
+
+func assertSweepResultEqual(t *testing.T, label string, got, want SweepResult) {
+	t.Helper()
+	if got.Err != nil {
+		t.Fatalf("%s: %v", label, got.Err)
+	}
+	if got.Regret != want.Regret {
+		t.Errorf("%s regret %v, want %v", label, got.Regret, want.Regret)
+	}
+	if got.AverageGroupReward != want.AverageGroupReward {
+		t.Errorf("%s reward %v, want %v", label, got.AverageGroupReward, want.AverageGroupReward)
+	}
+	if got.RegretStdDev != want.RegretStdDev {
+		t.Errorf("%s stddev %v, want %v", label, got.RegretStdDev, want.RegretStdDev)
+	}
+	for j := range want.Popularity {
+		if got.Popularity[j] != want.Popularity[j] {
+			t.Errorf("%s popularity[%d] = %v, want %v", label, j, got.Popularity[j], want.Popularity[j])
+		}
+	}
+}
+
+// TestRunSweepV2BlockScheduling checks v2 variants produce results bit
+// identical to the single-lane serial reference — i.e. block width and
+// worker count are invisible — including a replication count that does
+// not divide BlockLanes (forcing a tail block) and a mixed v1/v2 sweep
+// in one call.
+func TestRunSweepV2BlockScheduling(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7}
+	variants := []SweepVariant{
+		// BlockLanes+3 replications: one full block plus a 3-lane tail.
+		{N: 200, Engine: core.EngineAgent, Steps: 60, Seed: 1, Replications: BlockLanes + 3, DrawOrder: "v2"},
+		{N: 20_000, Steps: 80, Seed: 2, Replications: 5, DrawOrder: "v2"},
+		{N: 0, Steps: 120, Seed: 3, Replications: 4, DrawOrder: "v2"},
+		// A v1 variant rides along: mixing orders in one sweep must not
+		// disturb either path.
+		{N: 200, Engine: core.EngineAgent, Steps: 60, Seed: 1, Replications: 3, DrawOrder: "v1"},
+	}
+	for _, workers := range []int{1, 4} {
+		results, err := RunSweep(context.Background(), proto, variants, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range variants[:3] {
+			want := serialVariantV2(t, proto, v)
+			assertSweepResultEqual(t, fmt.Sprintf("workers=%d variant %d", workers, i), results[i], want)
+		}
+		assertSweepResultEqual(t, fmt.Sprintf("workers=%d v1 variant", workers),
+			results[3], serialVariant(t, proto, variants[3]))
+	}
+}
+
+// TestRunSweepV2DiffersFromV1 pins that the two draw orders are
+// distinct contracts: the same variant under "v2" must not reproduce
+// its v1 scalars.
+func TestRunSweepV2DiffersFromV1(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.9, 0.5, 0.5}, Beta: 0.7}
+	base := SweepVariant{N: 500, Engine: core.EngineAgent, Steps: 100, Seed: 9, Replications: 3}
+	v2 := base
+	v2.DrawOrder = "v2"
+	results, err := RunSweep(context.Background(), proto, []SweepVariant{base, v2}, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatal(results[0].Err, results[1].Err)
+	}
+	if results[0].AverageGroupReward == results[1].AverageGroupReward {
+		t.Errorf("v2 reproduced the v1 reward %v — the draw orders must be distinct", results[0].AverageGroupReward)
+	}
+}
+
+// TestRunSweepV2BlockCache checks the per-worker block cache serves
+// repeated same-shape blocks via Reset and that task accounting counts
+// blocks, not replications, for v2 variants.
+func TestRunSweepV2BlockCache(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 0.65}
+	variants := []SweepVariant{
+		{N: 300, Engine: core.EngineAgent, Steps: 40, Seed: 1, Replications: 3 * BlockLanes, DrawOrder: "v2"},
+	}
+	var ctrs SweepCounters
+	results, err := RunSweep(context.Background(), proto, variants,
+		SweepOptions{Workers: 1, Counters: &ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if got, want := ctrs.Tasks.Load(), uint64(3); got != want {
+		t.Errorf("Tasks = %d, want %d (one per block)", got, want)
+	}
+	if ctrs.EngineBuilds.Load() != 1 || ctrs.EngineReuses.Load() != 2 {
+		t.Errorf("builds=%d reuses=%d, want 1 build and 2 reuses on a single worker",
+			ctrs.EngineBuilds.Load(), ctrs.EngineReuses.Load())
+	}
+	want := serialVariantV2(t, proto, variants[0])
+	assertSweepResultEqual(t, "cached blocks", results[0], want)
+}
+
+func TestRunSweepRejectsUnknownDrawOrder(t *testing.T) {
+	t.Parallel()
+
+	proto := core.Config{Qualities: []float64{0.8, 0.4}, Beta: 0.65}
+	_, err := RunSweep(context.Background(), proto,
+		[]SweepVariant{{N: 10, Steps: 10, Seed: 1, DrawOrder: "v3"}}, SweepOptions{})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Errorf("unknown draw order accepted: %v", err)
 	}
 }

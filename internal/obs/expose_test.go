@@ -75,21 +75,21 @@ func TestCheckExpositionRejects(t *testing.T) {
 	t.Parallel()
 
 	cases := map[string]string{
-		"sample without TYPE": "orphan_total 1\n",
-		"bad name": "# TYPE bad-name counter\nbad-name 1\n",
-		"bad value": "# TYPE x counter\nx notanumber\n",
-		"duplicate series": "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
-		"duplicate TYPE": "# TYPE x counter\n# TYPE x counter\nx 1\n",
-		"TYPE after sample": "# TYPE x counter\nx 1\n# TYPE y counter\n# HELP x late\n",
-		"unknown kind": "# TYPE x stuff\nx 1\n",
-		"bare histogram sample": "# TYPE h histogram\nh 1\n",
+		"sample without TYPE":    "orphan_total 1\n",
+		"bad name":               "# TYPE bad-name counter\nbad-name 1\n",
+		"bad value":              "# TYPE x counter\nx notanumber\n",
+		"duplicate series":       "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"duplicate TYPE":         "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"TYPE after sample":      "# TYPE x counter\nx 1\n# TYPE y counter\n# HELP x late\n",
+		"unknown kind":           "# TYPE x stuff\nx 1\n",
+		"bare histogram sample":  "# TYPE h histogram\nh 1\n",
 		"histogram without +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
-		"non-monotone buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
-		"inf bucket != count": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
-		"missing sum": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
-		"unquoted label": "# TYPE x counter\nx{a=1} 1\n",
-		"unterminated labels": "# TYPE x counter\nx{a=\"1\" 1\n",
-		"duplicate label": "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+		"non-monotone buckets":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf bucket != count":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum":            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"unquoted label":         "# TYPE x counter\nx{a=1} 1\n",
+		"unterminated labels":    "# TYPE x counter\nx{a=\"1\" 1\n",
+		"duplicate label":        "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
 	}
 	for name, doc := range cases {
 		if err := CheckExposition(doc); err == nil {

@@ -33,6 +33,7 @@ import (
 //	reprod_sched_coalesced_batches_total          counter   coalesced batches run
 //	reprod_sched_coalesced_jobs_total             counter   jobs executed inside coalesced batches
 //	reprod_sched_solo_jobs_total                  counter   jobs executed individually
+//	reprod_core_draw_order{version}               gauge     info: draw-order versions executed (v1|v2)
 //	reprod_sweep_tasks_total                      counter   (variant, replication) tasks fanned out
 //	reprod_sweep_engine_reuses_total              counter   tasks served by Reset-ing a cached engine
 //	reprod_sweep_engine_builds_total              counter   tasks that built a fresh engine
@@ -77,6 +78,9 @@ type schedMetrics struct {
 	batches     *obs.Counter
 	batchedJobs *obs.Counter
 	soloJobs    *obs.Counter
+
+	drawOrderV1 *obs.Gauge
+	drawOrderV2 *obs.Gauge
 }
 
 // newSchedMetrics registers the scheduler families and pre-resolves
@@ -119,6 +123,15 @@ func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.Sweep
 	m.soloJobs = reg.Counter("reprod_sched_solo_jobs_total",
 		"Single-spec jobs executed individually.")
 
+	// Info gauge: which draw-order contract versions this process has
+	// executed (1 once a job of that version ran). Dashboards use it to
+	// see a v2 rollout land without diffing spec hashes.
+	do := reg.GaugeVec("reprod_core_draw_order",
+		"Draw-order contract versions executed by this process (1 = at least one job ran).",
+		"version")
+	m.drawOrderV1 = do.With("v1")
+	m.drawOrderV2 = do.With("v2")
+
 	// The sweep engine keeps its own atomics (internal/experiment
 	// stays dependency-free); export them as scrape-time reads.
 	reg.CounterFunc("reprod_sweep_tasks_total",
@@ -131,6 +144,16 @@ func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.Sweep
 		"Sweep tasks that had to build a fresh engine.",
 		func() float64 { return float64(sweepCtrs.EngineBuilds.Load()) })
 	return m
+}
+
+// markDrawOrder flags the contract version a starting job runs under
+// ("" marks v1, the default).
+func (m *schedMetrics) markDrawOrder(version string) {
+	if version == "v2" {
+		m.drawOrderV2.Set(1)
+		return
+	}
+	m.drawOrderV1.Set(1)
 }
 
 // queuedTotal sums the live per-shard depth gauges.

@@ -791,10 +791,12 @@ func (s *Scheduler) execute(job *Job) {
 	defer cancel()
 	s.metrics.running.Inc()
 	if job.sweep != nil {
+		s.metrics.markDrawOrder(job.sweep.Family.DrawOrder)
 		s.runSweepJob(ctx, job)
 		s.metrics.running.Dec()
 		return
 	}
+	s.metrics.markDrawOrder(job.spec.DrawOrder)
 	report, rec, err := runSpec(ctx, &job.spec, job.hash, job.setLiveTrace)
 	s.metrics.running.Dec()
 	s.settle(job, report, rec, s.rewriteTimeout(ctx, err))
@@ -814,6 +816,7 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 			Replications: spec.Replications,
 			Seed:         spec.Seed,
 			CheckEvery:   spec.checkInterval(),
+			DrawOrder:    spec.DrawOrder,
 		}
 	}
 	results, err := experiment.RunSweep(ctx, sw.familyConfig(), variants, experiment.SweepOptions{
@@ -890,6 +893,7 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 			Replications: job.spec.Replications,
 			Seed:         job.spec.Seed,
 			CheckEvery:   job.spec.checkInterval(),
+			DrawOrder:    job.spec.DrawOrder,
 			Ctx:          job.ctx,
 			OnStart: func() context.Context {
 				ctxs[i], cancels[i] = s.start(job)
@@ -898,6 +902,9 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 		}
 	}
 	s.metrics.running.Add(float64(n))
+	// Coalescing keys on the family, which includes the draw order, so
+	// the whole batch runs one contract version.
+	s.metrics.markDrawOrder(live[0].spec.DrawOrder)
 	results, err := experiment.RunSweep(context.Background(), live[0].spec.coreConfig(0), variants,
 		experiment.SweepOptions{Workers: s.cfg.SweepWorkers, Gate: s.sweepGate, Counters: &s.sweepCtrs})
 	s.metrics.running.Add(float64(-n))
@@ -961,6 +968,9 @@ func (s *Scheduler) retire(job *Job) {
 // onTrace, when non-nil, is called with the trace recorder as soon as
 // it exists, so the serving layer can stream rows while the job runs.
 func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
+	if spec.DrawOrder == "v2" {
+		return runSpecV2(ctx, spec, hash, onTrace)
+	}
 	var regrets stats.Summary
 	var rewardMean, bestQ float64
 	var popSum, popBuf []float64
@@ -1008,6 +1018,97 @@ func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.R
 		if repRec != nil {
 			rec = repRec
 		}
+	}
+	for j := range popSum {
+		popSum[j] /= float64(spec.Replications)
+	}
+	report := &Report{
+		SpecHash:           hash,
+		Steps:              spec.Steps,
+		Replications:       spec.Replications,
+		BestQuality:        bestQ,
+		AverageGroupReward: rewardMean,
+		Regret:             regrets.Mean(),
+		RegretStdDev:       regrets.StdDev(),
+		Popularity:         popSum,
+	}
+	return report, rec, nil
+}
+
+// runSpecV2 executes a draw_order v2 spec: replications run as
+// replication blocks of up to spec.blockLanes() lanes, each lane
+// seeded rng.StripeSeed(spec.Seed, rep) with its own stream. The merge
+// runs in replication order with the exact v1 arithmetic, so the
+// report shape and accumulation sequence are shared — only the draws
+// differ. Lane 0 of the first block records the trace when one is
+// requested (replication 0, as in v1), and the context-check interval
+// shrinks by the block width because every block step advances all
+// lanes.
+func runSpecV2(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
+	var regrets stats.Summary
+	var rewardMean, bestQ float64
+	var popSum, popBuf []float64
+	var rec *trace.Recorder
+	width := spec.blockLanes()
+	for rep := 0; rep < spec.Replications; {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		lanes := min(width, spec.Replications-rep)
+		g, err := spec.newBlockGroup(spec.Seed, rep, lanes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: replication block at %d: %w", rep, err)
+		}
+		var repRec *trace.Recorder
+		var row []float64
+		if rep == 0 && spec.TraceEvery > 0 {
+			m := g.Options()
+			cols := append([]string{"t", "group_reward"}, trace.VectorColumns("q", m)...)
+			repRec, err = trace.NewRecorder(spec.TraceEvery, cols...)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = make([]float64, 2, 2+m)
+			if onTrace != nil {
+				onTrace(repRec)
+			}
+		}
+		checkEvery := max(spec.checkInterval()/lanes, 1)
+		for t := 1; t <= spec.Steps; t++ {
+			if t%checkEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+			}
+			if err := g.StepBlock(); err != nil {
+				return nil, nil, fmt.Errorf("service: step %d: %w", t, err)
+			}
+			if repRec != nil {
+				row[0] = float64(t)
+				row[1] = g.GroupReward(0)
+				full := g.AppendPopularity(0, row[:2])
+				if err := repRec.Record(full...); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		bestQ = g.BestQuality()
+		for k := 0; k < lanes; k++ {
+			avg := g.CumulativeGroupReward(k) / float64(spec.Steps)
+			regrets.Add(bestQ - avg)
+			rewardMean += (avg - rewardMean) / float64(rep+k+1)
+			popBuf = g.AppendPopularity(k, popBuf[:0])
+			if popSum == nil {
+				popSum = make([]float64, len(popBuf))
+			}
+			for j, p := range popBuf {
+				popSum[j] += p
+			}
+		}
+		if repRec != nil {
+			rec = repRec
+		}
+		rep += lanes
 	}
 	for j := range popSum {
 		popSum[j] /= float64(spec.Replications)

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/graph"
 	"repro/internal/regret"
 )
@@ -164,6 +165,15 @@ type Spec struct {
 	TraceEvery int `json:"trace_every,omitempty"`
 	// Topology optionally restricts sampling to a deterministic graph.
 	Topology *Topology `json:"topology,omitempty"`
+	// DrawOrder selects the draw-order contract version: absent or
+	// "v1" is the frozen per-replication order (replication r seeds
+	// experiment.SeedFor(Seed, r)); "v2" is the replication-block order
+	// (lane r seeds rng.StripeSeed(Seed, r), each lane an independent
+	// stream). The two contracts produce distinct — individually
+	// reproducible — results, so the version is part of the canonical
+	// hash; "v1" normalizes to absent so every pre-versioning cache key
+	// and persisted report remains byte-identical.
+	DrawOrder string `json:"draw_order,omitempty"`
 }
 
 // Normalize fills defaults in place (engine name, replication count)
@@ -178,6 +188,12 @@ func (s *Spec) Normalize() {
 	}
 	if s.Replications == 0 {
 		s.Replications = 1
+	}
+	// "v1" names the default contract explicitly; the absent form is
+	// canonical (mirroring alpha/mu), keeping every pre-versioning
+	// cache key byte-identical.
+	if s.DrawOrder == "v1" {
+		s.DrawOrder = ""
 	}
 	s.Alpha, s.Mu = canonicalAlphaMu(s.Beta, s.Alpha, s.Mu)
 }
@@ -258,6 +274,16 @@ func (s *Spec) Validate() error {
 	case "aggregate", "agent":
 	default:
 		return fmt.Errorf("%w: engine %q (want \"aggregate\" or \"agent\")", ErrBadSpec, s.Engine)
+	}
+	// Post-Normalize "v1" is already folded to "". The admission-work
+	// arithmetic below is version-independent: v2 runs the same
+	// simulated operations, just batched into lanes (the scheduler
+	// scales its context-check interval down by the block width so
+	// cancellation latency stays bounded in simulated work).
+	switch s.DrawOrder {
+	case "", "v2":
+	default:
+		return fmt.Errorf("%w: draw_order %q (want \"v1\" or \"v2\")", ErrBadSpec, s.DrawOrder)
 	}
 	// buildCost is per-replication setup work: newGroup rebuilds the
 	// topology graph for every replication at O(edges), which for a
@@ -343,6 +369,20 @@ func (s *Spec) checkInterval() int {
 	return int(max(every, 1))
 }
 
+// blockLanes returns the replication-block width the scheduler uses
+// for a draw_order v2 run of this spec. Width is a scheduling choice,
+// not part of the contract (any partition replays identically), so
+// this is free to differ per shape: topology specs run width-1 blocks
+// — the network path falls back to one dynamics state per lane, and a
+// wide block would multiply the spec's admitted memory by the lane
+// count — while every other shape uses the experiment default.
+func (s *Spec) blockLanes() int {
+	if s.Topology != nil {
+		return 1
+	}
+	return experiment.BlockLanes
+}
+
 // coreConfig maps the spec onto core.Config with the given seed. The
 // topology graph is deliberately NOT attached here — Config.Validate
 // on the result must stay allocation-light — so newGroup builds it per
@@ -386,6 +426,22 @@ func (s *Spec) newGroup(seed uint64) (*core.Group, error) {
 		cfg.Network = g
 	}
 	return core.New(cfg)
+}
+
+// newBlockGroup builds one v2 replication block covering lanes
+// replications at global lane lane0, materializing the topology graph
+// when the spec names one (v2 topology blocks are width 1, so this
+// builds at most one graph per call, same as newGroup).
+func (s *Spec) newBlockGroup(seed uint64, lane0, lanes int) (*core.BlockGroup, error) {
+	cfg := s.coreConfig(seed)
+	if s.Topology != nil {
+		g, err := s.Topology.build()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Network = g
+	}
+	return core.NewBlock(cfg, lane0, lanes)
 }
 
 // Hash returns the canonical cache key: SHA-256 over the canonical

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"runtime"
 	"testing"
+
+	"repro/internal/experiment"
 )
 
 func validSpec() Spec {
@@ -336,5 +338,133 @@ func TestSpecValidateDoesNotMaterialize(t *testing.T) {
 	runtime.ReadMemStats(&after)
 	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
 		t.Errorf("Validate allocated %d bytes; validation must not materialize groups or graphs", delta)
+	}
+}
+
+// TestSpecDrawOrderCanonicalAndHashed pins the versioned draw-order
+// surface: explicit "v1" is the canonical absent form (one cache entry
+// with every pre-versioning spec), "v2" is a distinct cache key, and
+// anything else is rejected.
+func TestSpecDrawOrderCanonicalAndHashed(t *testing.T) {
+	t.Parallel()
+
+	base := validSpec()
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	explicit := validSpec()
+	explicit.DrawOrder = "v1"
+	if h, err := explicit.Hash(); err != nil || h != want {
+		t.Errorf("explicit draw_order=v1 hash %s (err %v), want the absent-form hash %s", h, err, want)
+	}
+	if explicit.DrawOrder != "" {
+		t.Errorf("Normalize left draw_order=%q, want the absent form", explicit.DrawOrder)
+	}
+
+	v2 := validSpec()
+	v2.DrawOrder = "v2"
+	h2, err := v2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == want {
+		t.Error("draw_order=v2 hash collides with v1 — the versions must be distinct cache keys")
+	}
+	if err := v2.Validate(); err != nil {
+		t.Errorf("draw_order=v2 rejected: %v", err)
+	}
+	if v2.DrawOrder != "v2" {
+		t.Errorf("Normalize rewrote draw_order=%q, want v2 kept", v2.DrawOrder)
+	}
+
+	// The wire form round-trips with the hash intact.
+	raw, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := back.Hash(); err != nil || h != h2 {
+		t.Errorf("round-tripped v2 hash %s (err %v), want %s", h, err, h2)
+	}
+
+	for _, bad := range []string{"v3", "V2", "2", "block"} {
+		s := validSpec()
+		s.DrawOrder = bad
+		if err := s.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("draw_order=%q: Validate = %v, want ErrBadSpec", bad, err)
+		}
+	}
+
+	// v2 composes with the rest of the surface: topology and agent
+	// specs admit under the same work arithmetic.
+	topo := validSpec()
+	topo.DrawOrder = "v2"
+	topo.Topology = &Topology{Kind: "ring", Nodes: 16}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("v2 topology spec rejected: %v", err)
+	}
+	if got := topo.blockLanes(); got != 1 {
+		t.Errorf("topology blockLanes = %d, want 1", got)
+	}
+	plain := validSpec()
+	if got, want := plain.blockLanes(), experiment.BlockLanes; got != want {
+		t.Errorf("blockLanes = %d, want %d", got, want)
+	}
+}
+
+// TestSweepSpecDrawOrderFamilyAxis pins that the sweep surface carries
+// the version on the family: it normalizes, distinguishes the sweep
+// hash, flows into every variant spec, and partitions the coalescing
+// key so batches never mix contracts.
+func TestSweepSpecDrawOrderFamilyAxis(t *testing.T) {
+	t.Parallel()
+
+	mk := func(order string) SweepSpec {
+		return SweepSpec{
+			Family: SweepFamily{Qualities: []float64{0.9, 0.5}, Beta: 0.7, DrawOrder: order},
+			Variants: []SweepVariant{
+				{N: 1000, Steps: 100, Seed: 1, Replications: 2},
+			},
+		}
+	}
+	base := mk("")
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := mk("v1")
+	if h, err := v1.Hash(); err != nil || h != want {
+		t.Errorf("family draw_order=v1 hash %s (err %v), want absent-form %s", h, err, want)
+	}
+	v2 := mk("v2")
+	if err := v2.Validate(); err != nil {
+		t.Fatalf("v2 sweep rejected: %v", err)
+	}
+	if h, err := v2.Hash(); err != nil || h == want {
+		t.Errorf("family draw_order=v2 hash %s (err %v) collides with v1", h, err)
+	}
+	if got := v2.variantSpec(0).DrawOrder; got != "v2" {
+		t.Errorf("variantSpec draw order %q, want v2", got)
+	}
+	bad := mk("v9")
+	if err := bad.Validate(); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("family draw_order=v9: Validate = %v, want ErrBadSpec", err)
+	}
+
+	s1, s2 := validSpec(), validSpec()
+	s2.DrawOrder = "v2"
+	s1.Normalize()
+	s2.Normalize()
+	k1, k2 := s1.familyKey(), s2.familyKey()
+	if k1 == "" || k2 == "" {
+		t.Fatalf("coalescible specs lost their family keys: %q, %q", k1, k2)
+	}
+	if k1 == k2 {
+		t.Error("family key ignores draw_order — a batch could mix contract versions")
 	}
 }

@@ -30,6 +30,12 @@ type SweepFamily struct {
 	// Mu is the exploration rate; absent means the theorem-maximal
 	// δ²/6 default.
 	Mu *float64 `json:"mu,omitempty"`
+	// DrawOrder selects the draw-order contract version for every
+	// variant of the sweep — a family axis, so a batch runs one
+	// contract throughout and coalescing never mixes versions. Absent
+	// or "v1" (normalized to absent, like Spec) is the frozen
+	// per-replication order; "v2" is the replication-block order.
+	DrawOrder string `json:"draw_order,omitempty"`
 }
 
 // SweepVariant is one member of a sweep: the axes that vary across
@@ -65,6 +71,9 @@ type SweepSpec struct {
 // identically.
 func (s *SweepSpec) Normalize() {
 	s.Family.Alpha, s.Family.Mu = canonicalAlphaMu(s.Family.Beta, s.Family.Alpha, s.Family.Mu)
+	if s.Family.DrawOrder == "v1" {
+		s.Family.DrawOrder = ""
+	}
 	for i := range s.Variants {
 		if s.Variants[i].Engine == "" {
 			s.Variants[i].Engine = "aggregate"
@@ -89,6 +98,7 @@ func (s *SweepSpec) variantSpec(i int) Spec {
 		Steps:        v.Steps,
 		Replications: v.Replications,
 		Seed:         v.Seed,
+		DrawOrder:    s.Family.DrawOrder,
 	}
 }
 
@@ -179,6 +189,7 @@ func (s *Spec) familyKey() string {
 		Beta:      s.Beta,
 		Alpha:     s.Alpha,
 		Mu:        s.Mu,
+		DrawOrder: s.DrawOrder,
 	})
 	if err != nil {
 		return ""
