@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -683,5 +684,65 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 				v++
 			}
 		})
+	})
+}
+
+// BenchmarkSpanOverhead pins the cost of the span recording hot path
+// that the tracing layer threads through the scheduler's replication
+// and block loops: Start+SetAttr+End against a live trace must be
+// allocation-free (the capHint pre-grows the span array and attrs
+// live inline in the span), and the nil-trace path — every untraced
+// request, including the cache-hit benchmark regime — must cost
+// nothing. Asserted except under the race detector, whose
+// instrumentation allocates.
+func BenchmarkSpanOverhead(b *testing.B) {
+	assertZeroAlloc := func(b *testing.B, record func()) {
+		b.Helper()
+		if raceEnabled {
+			return
+		}
+		if allocs := testing.AllocsPerRun(1000, record); allocs != 0 {
+			b.Fatalf("span recording allocates %v per op; want 0", allocs)
+		}
+	}
+	rec := span.NewRecorder(4)
+
+	b.Run("start_attr_end", func(b *testing.B) {
+		tr := rec.Start("bench", "bench", 4096)
+		used := 1 // the root span holds slot 0
+		record := func() {
+			sid := tr.Start("step", span.Root)
+			tr.SetAttr(sid, "replication", 7)
+			tr.End(sid)
+			used++
+			if used >= 4000 {
+				// Rotate before hitting the per-trace span cap; the
+				// replacement trace is pre-grown, so the steady state
+				// stays allocation-free per span.
+				tr.Release()
+				tr = rec.Start("bench", "bench", 4096)
+				used = 1
+			}
+		}
+		assertZeroAlloc(b, record) // 1001 runs fit inside one trace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			record()
+		}
+		tr.Release()
+	})
+	b.Run("nil_trace", func(b *testing.B) {
+		var tr *span.Trace
+		record := func() {
+			sid := tr.Start("step", span.Root)
+			tr.SetAttr(sid, "replication", 7)
+			tr.End(sid)
+		}
+		assertZeroAlloc(b, record)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			record()
+		}
 	})
 }

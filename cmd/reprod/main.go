@@ -30,12 +30,15 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -69,9 +72,17 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		storeDir   = fs.String("store-dir", "", "directory for the persistent result store (empty = in-memory only)")
 		storeMax   = fs.Int64("store-max-bytes", 1<<30, "byte budget of the on-disk result store before segment GC (0 = unlimited)")
+		debugAddr  = fs.String("debug-addr", "", "listen address for net/http/pprof profiling (empty = disabled; never exposed on -addr)")
+		traceRing  = fs.Int("trace-ring", 256, "completed span traces retained for /debug/traces")
+		traceSlow  = fs.Duration("trace-slow", time.Second, "log any request trace at least this long (0 disables)")
+		version    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(logw, "reprod %s %s\n", obs.BuildVersion(), runtime.Version())
+		return nil
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -91,6 +102,15 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if err != nil {
 		return err
 	}
+	obs.RegisterBuildInfo(sched.Registry(), obs.BuildVersion())
+	// Span tracing: the recorder retains the last -trace-ring completed
+	// request traces for /debug/traces and logs any trace slower than
+	// -trace-slow through the daemon logger.
+	var slowOpts []span.Option
+	if *traceSlow > 0 {
+		slowOpts = append(slowOpts, span.WithSlowLog(logger, *traceSlow))
+	}
+	traces := span.NewRecorder(*traceRing, slowOpts...)
 	// Result storage: in-proc LRU alone, or — with -store-dir — the
 	// LRU fronting a crash-safe disk segment log, so the cache
 	// warm-starts across restarts. The cache owns the backend and
@@ -106,6 +126,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 			disk.Close()
 			return err
 		}
+		// Tier movements (read-through promotions, background spills)
+		// surface in the trace ring as single-span traces; spills have
+		// no request to attach to, so Event is the right shape.
+		tiered.SetOpHook(func(op string, start time.Time, elapsed time.Duration) {
+			traces.Event("store."+op, start, elapsed)
+		})
 		if resultCache, err = service.NewCacheWithStore(tiered); err != nil {
 			tiered.Close()
 			return err
@@ -125,11 +151,40 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if err != nil {
 		return err
 	}
-	app := service.NewServer(sched, resultCache, service.WithLogger(logger))
+	app := service.NewServer(sched, resultCache,
+		service.WithLogger(logger), service.WithTraces(traces))
 	srv := &http.Server{
 		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// pprof lives on its own listener, never on the serving port:
+	// profiles expose memory contents and can stall the runtime, so the
+	// serving address (which faces load balancers and, transitively,
+	// clients) must not route to them. -debug-addr should bind a
+	// loopback or otherwise firewalled interface.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener stopped", "error", err)
+			}
+		}()
+		logger.Info("pprof serving", "debug_addr", dln.Addr().String())
+	}
+
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -142,6 +197,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 
 	select {
 	case err := <-serveErr:
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		sched.Close()
 		return err
 	case <-ctx.Done():
@@ -163,6 +221,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		logger.Warn("shutdown: http", "error", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close() // profiling requests do not hold up a drain
 	}
 	// Stop admissions and let queued + running jobs finish.
 	drained := make(chan struct{})

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -76,9 +77,14 @@ func TestDaemonShutdownSequence(t *testing.T) {
 }
 
 // TestDaemonMetricsSmoke boots the daemon, serves traffic (tagged with
-// a client request ID), scrapes GET /metrics, and strict-checks the
-// exposition format. With METRICS_SNAPSHOT set, the scraped page is
-// written there so CI can archive it as a build artifact.
+// a client request ID) across the engine × draw-order grid, scrapes
+// GET /metrics, and strict-checks the exposition format — including
+// the step-cost profiler, runtime collector, and build-info families.
+// It also exercises the span-tracing surface end to end: the async
+// job's span tree on /v1/jobs/{id}/spans and the trace ring on
+// /debug/traces. With METRICS_SNAPSHOT / SPANS_SNAPSHOT set, the
+// scraped page and span tree are written there so CI can archive them
+// as build artifacts.
 func TestDaemonMetricsSmoke(t *testing.T) {
 	t.Parallel()
 
@@ -114,6 +120,114 @@ func TestDaemonMetricsSmoke(t *testing.T) {
 		t.Errorf("generated request ID %q is not valid", id)
 	}
 
+	// Fill in the rest of the step-cost grid (the first simulate was
+	// aggregate × v1): each combination must produce its own
+	// reprod_engine_step_cost_ns series.
+	for _, extra := range []string{
+		`{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 42, "engine": "agent"}`,
+		`{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 43, "draw_order": "v2"}`,
+		`{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 44, "engine": "agent", "draw_order": "v2"}`,
+	} {
+		eresp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(extra))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, eresp.Body)
+		eresp.Body.Close()
+		if eresp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %s: status %d", extra, eresp.StatusCode)
+		}
+	}
+
+	// An async job's span tree: 409/404 while in flight, 200 with the
+	// full admission → queue-wait → run tree once the job settles and
+	// the submitting request has finished.
+	jresp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 45}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobBody struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&jobBody); err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if jresp.StatusCode != http.StatusAccepted || jobBody.ID == "" {
+		t.Fatalf("job submit: status %d id %q", jresp.StatusCode, jobBody.ID)
+	}
+	var spanTree []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sresp, err := http.Get(base + "/v1/jobs/" + jobBody.ID + "/spans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sresp.StatusCode == http.StatusOK {
+			spanTree = raw
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span tree never served: last status %d body %s", sresp.StatusCode, raw)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`"POST /v1/jobs"`, `"validate"`, `"admission"`, `"queue.wait"`, `"run"`, `"replication"`,
+	} {
+		if !strings.Contains(string(spanTree), want) {
+			t.Errorf("span tree lacks %s:\n%s", want, spanTree)
+		}
+	}
+	if path := os.Getenv("SPANS_SNAPSHOT"); path != "" {
+		if err := os.WriteFile(path, spanTree, 0o644); err != nil {
+			t.Fatalf("write SPANS_SNAPSHOT: %v", err)
+		}
+	}
+
+	// The trace ring retains the synchronous request traces, keyed by
+	// the inbound request ID and covering the cache layer.
+	dresp, err := http.Get(base + "/debug/traces?min_ms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpage, err := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/traces status %d", dresp.StatusCode)
+	}
+	for _, want := range []string{`"smoke-req-41"`, `"cache.get"`, `"cache.put"`} {
+		if !strings.Contains(string(dpage), want) {
+			t.Errorf("debug/traces lacks %s:\n%s", want, dpage)
+		}
+	}
+
+	// /statsz serves the runtime section from the same collector that
+	// backs the reprod_go_* gauges.
+	zresp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zpage, err := io.ReadAll(zresp.Body)
+	zresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"runtime"`, `"goroutines"`, `"heap_alloc_bytes"`} {
+		if !strings.Contains(string(zpage), want) {
+			t.Errorf("statsz lacks %s: %s", want, zpage)
+		}
+	}
+
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -133,14 +247,22 @@ func TestDaemonMetricsSmoke(t *testing.T) {
 		t.Errorf("exposition format: %v\n%s", err, page)
 	}
 	for _, want := range []string{
-		`reprod_http_requests_total{route="POST /v1/simulate",code="2xx"} 1`,
+		`reprod_http_requests_total{route="POST /v1/simulate",code="2xx"} 4`,
 		"reprod_http_request_duration_seconds_bucket",
 		"reprod_sched_queue_wait_seconds_bucket",
 		"reprod_sched_run_duration_seconds_bucket",
-		`reprod_sched_jobs_total{outcome="done"} 1`,
-		`reprod_cache_requests_total{result="miss"} 1`,
-		`reprod_store_len{tier="memory"} 1`,
+		`reprod_sched_jobs_total{outcome="done"} 5`,
+		`reprod_cache_requests_total{result="miss"} 4`,
+		`reprod_store_len{tier="memory"} 4`,
 		"reprod_uptime_seconds",
+		`reprod_engine_step_cost_ns{engine="aggregate",draw_order="v1"}`,
+		`reprod_engine_step_cost_ns{engine="agent",draw_order="v1"}`,
+		`reprod_engine_step_cost_ns{engine="aggregate",draw_order="v2"}`,
+		`reprod_engine_step_cost_ns{engine="agent",draw_order="v2"}`,
+		`reprod_build_info{version="`,
+		"reprod_go_goroutines",
+		"reprod_go_heap_alloc_bytes",
+		"reprod_go_gc_pause_seconds_bucket",
 	} {
 		if !strings.Contains(string(page), want) {
 			t.Errorf("metrics page lacks %q", want)

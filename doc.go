@@ -186,8 +186,49 @@
 //	store_disk_bytes                       gauge     segment bytes on disk
 //	store_disk_segments                    gauge     segment file count
 //	uptime_seconds                         gauge     seconds since wiring
+//	engine_step_cost_ns{engine,draw_order} gauge     EWMA cost of one simulated step per lane
+//	go_goroutines                          gauge     current goroutine count
+//	go_heap_alloc_bytes                    gauge     live heap bytes
+//	go_heap_sys_bytes                      gauge     heap bytes held from the OS
+//	go_heap_objects                        gauge     live heap objects
+//	go_next_gc_bytes                       gauge     next GC target heap size
+//	go_gc_cycles_total                     counter   completed GC cycles
+//	go_gc_pause_seconds                    histogram stop-the-world GC pauses
+//	build_info{version,go_version}         gauge     info: always 1, labels carry the build
 //
 // The exposition format is strict-checked (obs.CheckExposition) in
 // tests and by CI's metrics smoke step, which scrapes a live daemon
 // and archives the page as the BENCH_metrics.json artifact.
+// reprod_engine_step_cost_ns is fed by the sampled step-cost profiler
+// (internal/obs.StepCostProfiler): every successful replication or
+// replication block reports elapsed/(steps×lanes) into a per-(engine,
+// draw_order) EWMA, the measured cost model the roadmap's cost-aware
+// admission control needs.
+//
+// # Tracing quickstart
+//
+// Beyond metrics, every work-submitting request (POST /v1/simulate,
+// /v1/sweep, /v1/jobs) is traced end to end by internal/obs/span — a
+// dependency-free span recorder (Start+attr+End is allocation-free on
+// a live trace, pinned by BenchmarkSpanOverhead; untraced paths pay a
+// nil-check only). The root span is keyed by the request ID; the
+// layers below add validate, admission, cache.get/cache.put,
+// queue.wait (per shard), and run spans, and the run nests one span
+// per replication (v1) or replication block (v2) — a coalesced job's
+// span tree shows its own sweep.task spans under its run span, tagged
+// with the batch size it rode in. The last -trace-ring completed
+// traces back GET /debug/traces, any trace slower than -trace-slow is
+// logged through slog, and a job's tree is served once it settles:
+//
+//	reprod -addr :8080 -trace-ring 256 -trace-slow 500ms -debug-addr 127.0.0.1:6060
+//	id=$(curl -s localhost:8080/v1/jobs -d \
+//	  '{"n": 10000, "qualities": [0.9, 0.5, 0.5], "beta": 0.7, "steps": 1000, "seed": 1}' | jq -r .id)
+//	curl -s localhost:8080/v1/jobs/$id/spans | jq .        # the span tree
+//	curl -s 'localhost:8080/debug/traces?min_ms=100' | jq . # recent slow traces
+//	go tool pprof localhost:6060/debug/pprof/profile        # CPU profile (separate listener)
+//
+// net/http/pprof is only ever mounted on -debug-addr, a separate
+// listener: profiles expose process memory and can stall the runtime,
+// so they must not share the client-facing serving port. Bind it to
+// loopback or a firewalled interface.
 package repro

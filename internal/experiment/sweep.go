@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/span"
 	"repro/internal/stats"
 )
 
@@ -61,6 +63,14 @@ type SweepVariant struct {
 	// so a job queued behind batch peers is not expired by work it
 	// never ran).
 	OnStart func() context.Context
+	// Trace, when non-nil, records one span per task of this variant —
+	// "sweep.task" for a v1 replication, "sweep.block" for a v2
+	// replication block — nested under Span. Every span call is safe on
+	// a nil Trace, so untraced sweeps pay only nil checks.
+	Trace *span.Trace
+	// Span is the parent span the variant's task spans nest under
+	// (meaningful only with a non-nil Trace).
+	Span span.ID
 	// DrawOrder selects the variant's draw-order contract. "" and "v1"
 	// schedule one (variant, replication) task per replication, each
 	// seeded SeedFor(Seed, rep) — the frozen v1 order, bit-identical to
@@ -130,6 +140,14 @@ type SweepOptions struct {
 	// Counters, when non-nil, receives the sweep's task fan-out and
 	// engine-cache instrumentation.
 	Counters *SweepCounters
+	// OnTask, when non-nil, receives each successfully completed task's
+	// timing: the variant index, the lane count the task advanced
+	// together (1 for v1 replications), and the elapsed wall time of
+	// the simulation work alone — gate waits and OnStart are excluded,
+	// so the sample reflects engine cost, not queueing. The serving
+	// layer folds these into its per-(engine, draw_order) step-cost
+	// estimates.
+	OnTask func(variant, lanes int, elapsed time.Duration)
 }
 
 // RunSweep executes every variant of a shared-family sweep with
@@ -255,9 +273,26 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 				if opt.Counters != nil {
 					opt.Counters.Tasks.Add(1)
 				}
+				// Span + timing cover the simulation work only: the gate
+				// wait and OnStart above are queueing, not engine cost.
+				sname, lanes := "sweep.task", 1
+				if tk.lanes > 0 {
+					sname, lanes = "sweep.block", tk.lanes
+				}
+				sid := v.Trace.Start(sname, v.Span)
+				v.Trace.SetAttr(sid, "replication", int64(tk.rep))
+				if tk.lanes > 0 {
+					v.Trace.SetAttr(sid, "lanes", int64(tk.lanes))
+				}
+				var t0 time.Time
+				if opt.OnTask != nil {
+					t0 = time.Now()
+				}
 				if tk.lanes > 0 {
 					eta1, err := runSweepBlock(ctx, vctxs[tk.v], tmpl, v, tk.rep, tk.lanes,
 						avgs[tk.v], pops[tk.v], &blockCached, opt.Counters)
+					elapsed := time.Since(t0)
+					v.Trace.End(sid)
 					if opt.Gate != nil {
 						<-opt.Gate
 					}
@@ -265,16 +300,24 @@ func RunSweep(ctx context.Context, proto core.Config, variants []SweepVariant, o
 						markTaskErr(errs[tk.v], tk.rep, tk.lanes, err)
 						continue
 					}
+					if opt.OnTask != nil {
+						opt.OnTask(tk.v, lanes, elapsed)
+					}
 					bestQOnce.Do(func() { bestQ = eta1 })
 					continue
 				}
 				avg, pop, eta1, err := runSweepTask(ctx, vctxs[tk.v], tmpl, v, tk.rep, &cached, opt.Counters)
+				elapsed := time.Since(t0)
+				v.Trace.End(sid)
 				if opt.Gate != nil {
 					<-opt.Gate
 				}
 				if err != nil {
 					errs[tk.v][tk.rep] = err
 					continue
+				}
+				if opt.OnTask != nil {
+					opt.OnTask(tk.v, lanes, elapsed)
 				}
 				avgs[tk.v][tk.rep] = avg
 				pops[tk.v][tk.rep] = pop

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRuntimeAndStepCostExposition registers the runtime collector,
+// build info, and step-cost profiler together and runs the strict
+// exposition checker over the result — the registration mix the
+// serving daemon actually uses.
+func TestRuntimeAndStepCostExposition(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	col := RegisterRuntime(reg)
+	RegisterBuildInfo(reg, "test-version")
+	prof := NewStepCostProfiler(reg)
+	prof.Observe("aggregate", "v1", 100, 1, 5_000)
+	prof.Observe("agent", "v2", 100, 32, 640_000)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("strict check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE reprod_go_goroutines gauge",
+		"reprod_go_heap_alloc_bytes",
+		"reprod_go_gc_pause_seconds_bucket",
+		"reprod_go_gc_cycles_total",
+		`reprod_build_info{version="test-version",go_version="` + runtime.Version() + `"} 1`,
+		`reprod_engine_step_cost_ns{engine="aggregate",draw_order="v1"} 50`,
+		`reprod_engine_step_cost_ns{engine="agent",draw_order="v2"} 200`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	st := col.Stats()
+	if st.Goroutines < 1 || st.HeapAlloc == 0 || st.HeapSys == 0 {
+		t.Fatalf("implausible runtime stats: %+v", st)
+	}
+}
+
+func TestRuntimeCollectorHarvestsGC(t *testing.T) {
+	reg := NewRegistry()
+	col := RegisterRuntime(reg)
+	before := col.Stats()
+	runtime.GC()
+	runtime.GC()
+	// Force a refresh past the TTL by reading through the collector's
+	// snapshot API until the cycle count moves.
+	deadline := 200
+	var after RuntimeStats
+	for i := 0; i < deadline; i++ {
+		col.mu.Lock()
+		col.fetched = col.fetched.Add(-runtimeTTL) // expire the cache
+		col.mu.Unlock()
+		after = col.Stats()
+		if after.GCCycles > before.GCCycles {
+			break
+		}
+	}
+	if after.GCCycles <= before.GCCycles {
+		t.Fatalf("GC cycles did not advance: before %d after %d", before.GCCycles, after.GCCycles)
+	}
+	if got := col.gcCycles.Value(); got == 0 {
+		t.Fatal("gc cycle counter not advanced")
+	}
+	if got := col.gcPause.Count(); got == 0 {
+		t.Fatal("gc pause histogram empty after forced GC")
+	}
+}
+
+func TestStepCostProfiler(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	p := NewStepCostProfiler(reg)
+
+	if got := p.Estimate("agent", "v1"); got != 0 {
+		t.Fatalf("estimate before samples = %v", got)
+	}
+	p.Observe("agent", "v1", 1000, 1, 2_000_000) // 2000 ns/step
+	if got := p.Estimate("agent", "v1"); got != 2000 {
+		t.Fatalf("first sample should initialize EWMA: got %v", got)
+	}
+	p.Observe("agent", "v1", 1000, 1, 1_000_000) // 1000 ns/step
+	want := 0.9*2000 + 0.1*1000
+	if got := p.Estimate("agent", "v1"); got != want {
+		t.Fatalf("EWMA = %v, want %v", got, want)
+	}
+
+	// Lanes divide the per-step cost; unknown names and junk samples
+	// are dropped rather than exported.
+	p.Observe("network", "v2", 10, 4, 4_000)
+	if got := p.Estimate("network", "v2"); got != 100 {
+		t.Fatalf("lane-normalized estimate = %v, want 100", got)
+	}
+	p.Observe("quantum", "v1", 10, 1, 100)
+	p.Observe("agent", "v9", 10, 1, 100)
+	p.Observe("agent", "v1", 0, 1, 100)
+	p.Observe("agent", "v1", 10, 1, 0)
+	if got := p.Estimate("quantum", "v1"); got != 0 {
+		t.Fatalf("unknown engine leaked estimate %v", got)
+	}
+
+	// Only observed combinations appear on the exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `engine="agent",draw_order="v1"`) {
+		t.Fatalf("observed combination missing:\n%s", out)
+	}
+	if strings.Contains(out, `engine="aggregate"`) {
+		t.Fatalf("unobserved combination exported:\n%s", out)
+	}
+
+	var nilProf *StepCostProfiler
+	nilProf.Observe("agent", "v1", 10, 1, 100)
+	if got := nilProf.Estimate("agent", "v1"); got != 0 {
+		t.Fatalf("nil profiler estimate = %v", got)
+	}
+}
+
+func TestStepCostProfilerConcurrent(t *testing.T) {
+	t.Parallel()
+
+	p := NewStepCostProfiler(NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Observe("aggregate", "v2", 100, 32, 320_000)
+			}
+		}()
+	}
+	wg.Wait()
+	// Constant samples: the EWMA must converge to exactly the sample.
+	if got := p.Estimate("aggregate", "v2"); got != 100 {
+		t.Fatalf("estimate = %v, want 100", got)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// stepCostAlpha is the EWMA weight for new step-cost samples: heavy
+// enough that the estimate tracks load shifts within tens of jobs,
+// light enough that one outlier replication (GC pause, cold cache)
+// does not whip the admission signal around.
+const stepCostAlpha = 0.1
+
+// stepCostEngines and stepCostVersions enumerate the cells the
+// profiler pre-creates, so Observe on the run path is a fixed array
+// walk — no map lookup, no lock, no allocation.
+var (
+	stepCostEngines  = [...]string{"aggregate", "agent", "infinite", "network"}
+	stepCostVersions = [...]string{"v1", "v2"}
+)
+
+// StepCostProfiler folds sampled engine step timings into online
+// per-(engine, draw_order) ns/step estimates, exported as the
+// reprod_engine_step_cost_ns gauge family. This is the measured
+// cost signal the calibrated-admission control loop needs: samples
+// come from real runs (whole replications and replication blocks
+// timed in the scheduler and sweep workers), not a synthetic
+// calibration benchmark.
+//
+// Observe is lock-free and allocation-free; each cell's estimate is a
+// CAS-updated EWMA over float64 bits. A cell's metric child is
+// registered lazily on its first sample, so /metrics only shows
+// combinations that have actually run.
+type StepCostProfiler struct {
+	vec   *GaugeVec
+	cells [len(stepCostEngines) * len(stepCostVersions)]stepCostCell
+}
+
+type stepCostCell struct {
+	bits       atomic.Uint64 // EWMA ns/step as float64 bits; 0 = no samples
+	registered atomic.Bool
+}
+
+// NewStepCostProfiler registers the reprod_engine_step_cost_ns family
+// on reg and returns the profiler. Children appear as engines run.
+func NewStepCostProfiler(reg *Registry) *StepCostProfiler {
+	return &StepCostProfiler{
+		vec: reg.GaugeVec("reprod_engine_step_cost_ns",
+			"EWMA of measured engine cost in nanoseconds per step per lane, sampled from real runs.",
+			"engine", "draw_order"),
+	}
+}
+
+// cellIndex maps (engine, draw_order) to its cell, or -1 for names
+// outside the fixed serving vocabulary (dropped rather than exploded
+// into unbounded label values).
+func cellIndex(engine, drawOrder string) int {
+	e := -1
+	for i, name := range stepCostEngines {
+		if name == engine {
+			e = i
+			break
+		}
+	}
+	if e < 0 {
+		return -1
+	}
+	for i, v := range stepCostVersions {
+		if v == drawOrder {
+			return e*len(stepCostVersions) + i
+		}
+	}
+	return -1
+}
+
+// Observe folds one timed run segment into the estimate: elapsedNs
+// spent advancing `steps` steps across `lanes` concurrent lanes (1
+// for v1 per-replication runs, the block width for v2). Zero or
+// negative inputs are dropped. Safe on a nil profiler.
+func (p *StepCostProfiler) Observe(engine, drawOrder string, steps, lanes int, elapsedNs int64) {
+	if p == nil || steps <= 0 || elapsedNs <= 0 {
+		return
+	}
+	idx := cellIndex(engine, drawOrder)
+	if idx < 0 {
+		return
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	sample := float64(elapsedNs) / (float64(steps) * float64(lanes))
+	c := &p.cells[idx]
+	for {
+		old := c.bits.Load()
+		next := sample
+		if old != 0 {
+			next = (1-stepCostAlpha)*math.Float64frombits(old) + stepCostAlpha*sample
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	if !c.registered.Load() && c.registered.CompareAndSwap(false, true) {
+		p.vec.WithFunc(func() float64 {
+			return math.Float64frombits(c.bits.Load())
+		}, engine, drawOrder)
+	}
+}
+
+// Estimate returns the current ns/step/lane EWMA for the combination,
+// or 0 when no samples have been folded in (or the names are outside
+// the serving vocabulary).
+func (p *StepCostProfiler) Estimate(engine, drawOrder string) float64 {
+	if p == nil {
+		return 0
+	}
+	idx := cellIndex(engine, drawOrder)
+	if idx < 0 {
+		return 0
+	}
+	return math.Float64frombits(p.cells[idx].bits.Load())
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs/span"
 	"repro/internal/store"
 )
 
@@ -139,24 +140,37 @@ func (c *Cache) lookup(key string) (*Report, bool) {
 // follower retries Do once (re-checking the cache, joining a newer
 // flight, or leading its own) instead of amplifying one momentary
 // rejection across every concurrent identical request.
+//
+// When ctx carries a span trace, the lookup is recorded as a
+// "cache.get" span whose outcome attr classifies the call (hit, join,
+// or lead), and a leading call's store write is recorded as
+// "cache.put". A traceless ctx (every benchmark and internal caller)
+// pays nothing: the nil-trace span calls are no-ops.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, error)) (report *Report, cached bool, err error) {
+	tr, parent := span.FromContext(ctx)
 	retried := false
 	for {
+		sid := tr.Start("cache.get", parent)
 		c.mu.Lock()
 		if report, ok := c.lookup(key); ok {
 			c.mu.Unlock()
+			tr.SetAttrStr(sid, "outcome", "hit")
+			tr.End(sid)
 			return report, true, nil
 		}
 		f, inFlight := c.flights[key]
 		if inFlight {
 			c.waits++
+			tr.SetAttrStr(sid, "outcome", "join")
 		} else {
 			f = &flight{done: make(chan struct{})}
 			c.flights[key] = f
 			c.misses++
-			go c.lead(key, f, compute)
+			tr.SetAttrStr(sid, "outcome", "lead")
+			go c.lead(key, f, compute, tr, parent)
 		}
 		c.mu.Unlock()
+		tr.End(sid)
 		select {
 		case <-f.done:
 			if inFlight && !retried && errors.Is(f.err, ErrOverloaded) {
@@ -177,18 +191,23 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, err
 }
 
 // lead runs the computation for one flight and publishes the result.
-func (c *Cache) lead(key string, f *flight, compute func() (*Report, error)) {
+// tr/parent carry the leading request's span trace into the store
+// write; the leader goroutine can outlive its request, in which case
+// the trace has sealed and the span calls quietly no-op.
+func (c *Cache) lead(key string, f *flight, compute func() (*Report, error), tr *span.Trace, parent span.ID) {
 	report, err := compute()
-	c.publish(key, f, report, err)
+	c.publish(key, f, report, err, tr, parent)
 }
 
 // publish completes a flight: stores a successful report, removes the
 // flight, and releases every waiter.
-func (c *Cache) publish(key string, f *flight, report *Report, err error) {
+func (c *Cache) publish(key string, f *flight, report *Report, err error, tr *span.Trace, parent span.ID) {
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil && report != nil {
+		sid := tr.Start("cache.put", parent)
 		c.backend.Put(key, report)
+		tr.End(sid)
 	}
 	c.mu.Unlock()
 	f.report = report
@@ -231,7 +250,9 @@ func (c *Cache) Acquire(key string) (report *Report, publish func(*Report, error
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.misses++
-	return nil, func(report *Report, err error) { c.publish(key, f, report, err) }, nil
+	// Acquire has no request context to pull a trace from; the sweep
+	// handler records its publish loop under its own span instead.
+	return nil, func(report *Report, err error) { c.publish(key, f, report, err, nil, span.None) }, nil
 }
 
 // Put stores a report computed outside a Do flight (the sweep path

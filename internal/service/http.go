@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // maxBodyBytes bounds request bodies; a Spec with MaxOptions qualities
@@ -27,14 +28,19 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/jobs/{id}       job status (+ report when done)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace completed job's trajectory as NDJSON
+//	GET    /v1/jobs/{id}/spans job's span tree (JSON, once settled)
 //	GET    /healthz            liveness (process is up)
 //	GET    /readyz             readiness (503 once draining starts)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /statsz             queue, cache, and traffic counters (JSON)
+//	GET    /debug/traces       recent span traces (?min_ms= filters)
 //
 // Every request is assigned a request ID (honoring a well-formed
 // inbound X-Request-ID), echoed in the X-Request-ID response header
-// and carried into submitted jobs and log lines.
+// and carried into submitted jobs and log lines. With WithTraces, the
+// work-submitting routes additionally open a span trace keyed by that
+// request ID and thread it through validation, admission, the queue,
+// the run, and the cache write-back.
 type Server struct {
 	sched *Scheduler
 	cache *Cache
@@ -44,6 +50,8 @@ type Server struct {
 	reg     *obs.Registry
 	logger  *slog.Logger
 	metrics *httpMetrics
+	traces  *span.Recorder
+	runtime *obs.RuntimeCollector
 
 	// draining flips once StartDrain is called; /readyz answers 503
 	// from then on while /healthz keeps reporting liveness.
@@ -63,6 +71,14 @@ func WithObs(reg *obs.Registry) ServerOption {
 // events. The default discards.
 func WithLogger(l *slog.Logger) ServerOption {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithTraces enables span tracing: the work-submitting routes open a
+// root span per request, every serving layer underneath adds its own,
+// and rec's ring backs /debug/traces and /v1/jobs/{id}/spans. Without
+// this option the span plumbing stays dormant (nil-trace no-ops).
+func WithTraces(rec *span.Recorder) ServerOption {
+	return func(s *Server) { s.traces = rec }
 }
 
 // NewServer wires the routes and joins the HTTP, cache, and store
@@ -87,29 +103,46 @@ func NewServer(sched *Scheduler, cache *Cache, opts ...ServerOption) *Server {
 	}
 	s.metrics = newHTTPMetrics(s.reg)
 	registerCacheMetrics(s.reg, cache.Stats)
+	s.runtime = obs.RegisterRuntime(s.reg)
 	s.reg.GaugeFunc("reprod_uptime_seconds",
 		"Seconds since the serving stack was wired.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
-	s.handle("POST /v1/simulate", s.handleSimulate)
-	s.handle("POST /v1/sweep", s.handleSweep)
-	s.handle("POST /v1/jobs", s.handleSubmitJob)
+	s.mount("POST /v1/simulate", s.handleSimulate, true)
+	s.mount("POST /v1/sweep", s.handleSweep, true)
+	s.mount("POST /v1/jobs", s.handleSubmitJob, true)
 	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.handle("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.reg.Handler().ServeHTTP)
 	s.handle("GET /statsz", s.handleStatsz)
+	s.handle("GET /debug/traces", s.handleDebugTraces)
 	return s
 }
 
-// handle mounts h at pattern behind the observability middleware:
+// handle mounts h at pattern without span tracing; read-only routes
+// (status polls, health probes, scrape endpoints) would only churn the
+// trace ring and drown the work traces /debug/traces exists to show.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mount(pattern, h, false)
+}
+
+// mount installs h at pattern behind the observability middleware:
 // request-ID assignment, in-flight accounting, and per-route
 // status-class counts and latency. Route children are pre-resolved
 // here, once, so the per-request cost is one gauge add/dec, one
 // counter increment, and one histogram observe.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+//
+// With traced set (and a recorder configured), the middleware also
+// opens the request's root span — named after the route, keyed by the
+// request ID — and carries it in the context for the layers below.
+// The middleware's reference keeps the trace writable for the
+// request's lifetime; the scheduler holds its own per-job reference,
+// so an async job's spans stay open until the job settles.
+func (s *Server) mount(pattern string, h http.HandlerFunc, traced bool) {
 	rm := s.metrics.route(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		began := time.Now()
@@ -118,13 +151,24 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		ctx := obs.WithRequestID(r.Context(), id)
+		var tr *span.Trace
+		if traced && s.traces != nil {
+			tr = s.traces.Start(id, pattern, 0)
+			ctx = span.NewContext(ctx, tr, span.Root)
+		}
+		r = r.WithContext(ctx)
 		s.metrics.inflight.Inc()
 		rec := statusRecorder{ResponseWriter: w}
 		h(&rec, r)
 		s.metrics.inflight.Dec()
 		elapsed := time.Since(began)
 		rm.observe(rec.status(), elapsed)
+		if tr != nil {
+			tr.SetAttr(span.Root, "status", int64(rec.status()))
+			tr.End(span.Root)
+			tr.Release()
+		}
 		s.logger.Debug("http request",
 			"route", pattern, "status", rec.status(), "duration", elapsed,
 			"request_id", id)
@@ -257,13 +301,18 @@ type simulateResponse struct {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	tr, root := span.FromContext(r.Context())
+	vs := tr.Start("validate", root)
 	spec, hash, ok := s.decodeSpec(w, r)
+	tr.End(vs)
 	if !ok {
 		return
 	}
 	requestID := obs.RequestID(r.Context())
 	report, cached, err := s.cache.Do(r.Context(), hash, func() (*Report, error) {
-		job, err := s.sched.SubmitTraced(spec, hash, requestID)
+		as := tr.Start("admission", root)
+		job, err := s.sched.SubmitSpanned(spec, hash, requestID, tr, root)
+		tr.End(as)
 		if err != nil {
 			return nil, err
 		}
@@ -332,20 +381,27 @@ type sweepResponse struct {
 // concurrent joiner, so identical concurrent sweeps (or a simulate
 // racing a sweep that covers its spec) simulate exactly once.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr, root := span.FromContext(r.Context())
+	vs := tr.Start("validate", root)
 	var sweep SweepSpec
 	if !s.decodeStrict(w, r, &sweep) {
+		tr.End(vs)
 		return
 	}
 	if err := sweep.Validate(); err != nil {
+		tr.End(vs)
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sweepHash, err := sweep.Hash()
 	if err != nil {
+		tr.End(vs)
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	hashes, err := sweep.variantHashes()
+	tr.SetAttr(vs, "variants", int64(len(sweep.Variants)))
+	tr.End(vs)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -362,6 +418,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	var joins []joined
 	cachedCount := 0
+	acq := tr.Start("cache.acquire", root)
 	for i := range sweep.Variants {
 		report, publish, wait := s.cache.Acquire(hashes[i])
 		switch {
@@ -378,6 +435,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			publishers = append(publishers, publish)
 		}
 	}
+	tr.SetAttr(acq, "stored", int64(cachedCount))
+	tr.SetAttr(acq, "led", int64(len(residualIdx)))
+	tr.End(acq)
 	// Led flights MUST be released on every exit; a leaked flight
 	// would hang all of its joiners.
 	published := false
@@ -397,7 +457,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if len(residualIdx) > 0 {
-		job, err := s.sched.SubmitSweepTraced(residual, sweepHash, residualHashes, obs.RequestID(r.Context()))
+		as := tr.Start("admission", root)
+		job, err := s.sched.SubmitSweepSpanned(residual, sweepHash, residualHashes,
+			obs.RequestID(r.Context()), tr, root)
+		tr.End(as)
 		if err != nil {
 			fail(err)
 			return
@@ -414,10 +477,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		published = true
+		ps := tr.Start("cache.publish", root)
 		for k, report := range job.Reports() {
 			publishers[k](report, nil)
 			results[residualIdx[k]] = sweepVariantResult{Cached: false, Report: report}
 		}
+		tr.SetAttr(ps, "variants", int64(len(residualIdx)))
+		tr.End(ps)
 	}
 	// Collect joined variants after publishing our own leads: a sweep
 	// naming one spec twice joins its own flight.
@@ -482,11 +548,16 @@ func jobView(job *Job) jobResponse {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tr, root := span.FromContext(r.Context())
+	vs := tr.Start("validate", root)
 	spec, hash, ok := s.decodeSpec(w, r)
+	tr.End(vs)
 	if !ok {
 		return
 	}
-	job, err := s.sched.SubmitTraced(spec, hash, obs.RequestID(r.Context()))
+	as := tr.Start("admission", root)
+	job, err := s.sched.SubmitSpanned(spec, hash, obs.RequestID(r.Context()), tr, root)
+	tr.End(as)
 	switch {
 	case err == nil:
 		s.writeJSON(w, r, http.StatusAccepted, jobView(job))
@@ -643,6 +714,76 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobSpans serves a job's span tree. The tree is only coherent
+// once the job has settled (the scheduler releases its trace
+// reference on every terminal path), so an unsettled job answers 409
+// and pollers retry after the job reaches a terminal state. Note the
+// submitting request may still hold the trace open briefly after the
+// job settles — the synchronous endpoints release it when the
+// response is written.
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	t := job.SpanTrace()
+	if t == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("service: job %s recorded no spans; tracing is disabled", job.ID()))
+		return
+	}
+	export := t.Export()
+	if export == nil {
+		s.writeError(w, r, http.StatusConflict,
+			fmt.Errorf("service: job %s spans are still open; retry once the job settles", job.ID()))
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, export)
+}
+
+// tracesResponse is the /debug/traces payload: the recorder's ring,
+// newest first, after the min-duration filter.
+type tracesResponse struct {
+	// Started and Sealed count traces opened and completed over the
+	// process lifetime — the ring only retains the most recent ones.
+	Started uint64            `json:"started"`
+	Sealed  uint64            `json:"sealed"`
+	Traces  []*span.TraceJSON `json:"traces"`
+}
+
+// handleDebugTraces dumps the recent completed traces as JSON.
+// ?min_ms=N keeps only traces at least that long, which is how an
+// operator asks "what were the slow requests lately" without grepping
+// logs.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("service: tracing is disabled; start the server with a span recorder"))
+		return
+	}
+	var minDur time.Duration
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			s.writeError(w, r, http.StatusBadRequest,
+				fmt.Errorf("service: min_ms must be a non-negative integer, got %q", v))
+			return
+		}
+		minDur = time.Duration(ms) * time.Millisecond
+	}
+	started, sealed := s.traces.Stats()
+	resp := tracesResponse{Started: started, Sealed: sealed, Traces: []*span.TraceJSON{}}
+	for _, t := range s.traces.Snapshot() {
+		if t.Duration() < minDur {
+			continue
+		}
+		if export := t.Export(); export != nil {
+			resp.Traces = append(resp.Traces, export)
+		}
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
 // handleHealthz is pure liveness: it answers 200 as long as the
 // process can serve at all, draining or not, so orchestrators do not
 // kill a server that is gracefully finishing its backlog.
@@ -667,11 +808,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, readyzBody{Status: "ok"})
 }
 
-// statszResponse aggregates the operational counters.
+// statszResponse aggregates the operational counters. Runtime reads
+// the same collector snapshot that backs the reprod_go_* gauges on
+// /metrics, so the two endpoints cannot drift.
 type statszResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Scheduler     SchedulerStats `json:"scheduler"`
-	Cache         CacheStats     `json:"cache"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Scheduler     SchedulerStats   `json:"scheduler"`
+	Cache         CacheStats       `json:"cache"`
+	Runtime       obs.RuntimeStats `json:"runtime"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -679,5 +823,6 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Scheduler:     s.sched.Stats(),
 		Cache:         s.cache.Stats(),
+		Runtime:       s.runtime.Stats(),
 	})
 }

@@ -51,6 +51,15 @@ import (
 //	reprod_store_disk_bytes                       gauge     bytes across all segment files
 //	reprod_store_disk_segments                    gauge     segment file count
 //	reprod_uptime_seconds                         gauge     seconds since the server was wired
+//	reprod_engine_step_cost_ns{engine,draw_order} gauge     EWMA ns per step per lane, from real runs
+//	reprod_go_goroutines                          gauge     current goroutine count
+//	reprod_go_heap_alloc_bytes                    gauge     bytes of live heap objects
+//	reprod_go_heap_sys_bytes                      gauge     heap bytes obtained from the OS
+//	reprod_go_heap_objects                        gauge     live heap object count
+//	reprod_go_next_gc_bytes                       gauge     heap target for the next GC cycle
+//	reprod_go_gc_cycles_total                     counter   completed GC cycles
+//	reprod_go_gc_pause_seconds                    histogram stop-the-world GC pause durations
+//	reprod_build_info{version,go_version}         gauge     constant 1; build identity in the labels
 
 // batchSizeBuckets covers coalesced batch sizes from the 2-job
 // minimum to the MaxSweepVariants-scale worst case.
@@ -81,6 +90,12 @@ type schedMetrics struct {
 
 	drawOrderV1 *obs.Gauge
 	drawOrderV2 *obs.Gauge
+
+	// stepCost folds real run timings into per-(engine, draw_order)
+	// ns/step estimates — the measured signal the calibrated-admission
+	// control loop consumes. Fed from the solo run path and both
+	// RunSweep call sites.
+	stepCost *obs.StepCostProfiler
 }
 
 // newSchedMetrics registers the scheduler families and pre-resolves
@@ -143,6 +158,8 @@ func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.Sweep
 	reg.CounterFunc("reprod_sweep_engine_builds_total",
 		"Sweep tasks that had to build a fresh engine.",
 		func() float64 { return float64(sweepCtrs.EngineBuilds.Load()) })
+
+	m.stepCost = obs.NewStepCostProfiler(reg)
 	return m
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -104,6 +105,20 @@ type Job struct {
 	// so a latency outlier is greppable back to the exact request.
 	requestID string
 
+	// strace is the submitting request's span trace (nil for untraced
+	// submissions; every span call below is nil-safe). The scheduler
+	// holds one reference on it from enqueue until the job's terminal
+	// path calls endSpans, so the trace cannot seal while the job still
+	// writes spans. parentSpan is the span submissions nest under;
+	// queueSpan and runSpan are the job's own lifecycle spans.
+	strace     *span.Trace
+	parentSpan span.ID
+	queueSpan  span.ID
+	runSpan    span.ID
+	// batchSize is the coalesced batch the job ran in (0 = not
+	// coalesced); written by the shard worker before any task starts.
+	batchSize int
+
 	sched *Scheduler
 	shard int
 
@@ -191,6 +206,24 @@ func (j *Job) setLiveTrace(rec *trace.Recorder) {
 // all (sweep jobs never do).
 func (j *Job) TraceRequested() bool {
 	return j.sweep == nil && j.spec.TraceEvery > 0
+}
+
+// SpanTrace returns the span trace the job records into (nil for
+// untraced submissions). The trace seals — and becomes exportable —
+// only after the job settles AND the submitting request finishes.
+func (j *Job) SpanTrace() *span.Trace {
+	return j.strace
+}
+
+// endSpans closes the job's run span and drops the job's hold on its
+// trace. Each job reaches exactly one terminal path (settle, sweep
+// success, reaped while queued, or canceled at dequeue), and every
+// path calls this exactly once — the matching Retain happened in
+// enqueue, so an untraced or never-enqueued job never gets here with
+// an unbalanced count.
+func (j *Job) endSpans() {
+	j.strace.End(j.runSpan)
+	j.strace.Release()
 }
 
 // Err returns the terminal error (nil unless the job failed or was
@@ -460,10 +493,20 @@ func (s *Scheduler) SubmitValidated(spec Spec, hash string) (*Job, error) {
 // the job, so a slow or failed job is greppable back to the exact
 // request that caused it.
 func (s *Scheduler) SubmitTraced(spec Spec, hash, requestID string) (*Job, error) {
+	return s.SubmitSpanned(spec, hash, requestID, nil, span.None)
+}
+
+// SubmitSpanned is SubmitTraced additionally threading the request's
+// span trace: the job records queue-wait and run spans under parent,
+// holding the trace open until it settles. tr may be nil (untraced
+// submission).
+func (s *Scheduler) SubmitSpanned(spec Spec, hash, requestID string, tr *span.Trace, parent span.ID) (*Job, error) {
 	job := s.newJob(hash)
 	job.spec = spec
 	job.coalesceKey = spec.familyKey()
 	job.requestID = requestID
+	job.strace = tr
+	job.parentSpan = parent
 	return s.enqueue(job)
 }
 
@@ -478,10 +521,18 @@ func (s *Scheduler) SubmitSweep(sw SweepSpec, hash string, variantHashes []strin
 // SubmitSweepTraced is SubmitSweep carrying the submitting request's
 // trace ID (see SubmitTraced).
 func (s *Scheduler) SubmitSweepTraced(sw SweepSpec, hash string, variantHashes []string, requestID string) (*Job, error) {
+	return s.SubmitSweepSpanned(sw, hash, variantHashes, requestID, nil, span.None)
+}
+
+// SubmitSweepSpanned is SubmitSweepTraced additionally threading the
+// request's span trace (see SubmitSpanned).
+func (s *Scheduler) SubmitSweepSpanned(sw SweepSpec, hash string, variantHashes []string, requestID string, tr *span.Trace, parent span.ID) (*Job, error) {
 	job := s.newJob(hash)
 	job.sweep = &sw
 	job.variantHashes = variantHashes
 	job.requestID = requestID
+	job.strace = tr
+	job.parentSpan = parent
 	return s.enqueue(job)
 }
 
@@ -495,15 +546,21 @@ func (s *Scheduler) Registry() *obs.Registry { return s.metrics.reg }
 func (s *Scheduler) newJob(hash string) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
-		id:      fmt.Sprintf("j%08d-%s", s.nextID.Add(1), hash[:min(8, len(hash))]),
-		hash:    hash,
-		sched:   s,
-		shard:   s.shardFor(hash),
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		status:  JobQueued,
-		created: time.Now(),
+		id:    fmt.Sprintf("j%08d-%s", s.nextID.Add(1), hash[:min(8, len(hash))]),
+		hash:  hash,
+		sched: s,
+		shard: s.shardFor(hash),
+		// Span IDs must start at None, not the zero ID (the root span):
+		// endSpans runs on every terminal path, including ones where
+		// start() never armed a run span.
+		parentSpan: span.None,
+		queueSpan:  span.None,
+		runSpan:    span.None,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		status:     JobQueued,
+		created:    time.Now(),
 	}
 }
 
@@ -536,6 +593,13 @@ func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 			"shard", job.shard, "spec_hash", job.hash, "request_id", job.requestID)
 		return nil, ErrOverloaded
 	}
+	// Retain the request's trace and open the queue-wait span before
+	// the job becomes visible to the worker: once the append lands, a
+	// worker may drain and settle the job immediately, and its
+	// endSpans must find the reference already held.
+	job.strace.Retain()
+	job.queueSpan = job.strace.Start("queue.wait", job.parentSpan)
+	job.strace.SetAttr(job.queueSpan, "shard", int64(job.shard))
 	sh.queue = append(sh.queue, job)
 	sh.cond.Signal()
 	sh.mu.Unlock()
@@ -571,6 +635,8 @@ func (s *Scheduler) reapQueued(job *Job) {
 	}
 	s.metrics.depth[job.shard].Dec()
 	s.metrics.jobsCanceled.Inc()
+	job.strace.End(job.queueSpan)
+	job.endSpans()
 	job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
 	s.logger.Info("job canceled while queued",
 		"job", job.id, "spec_hash", job.hash, "request_id", job.requestID)
@@ -696,8 +762,10 @@ func (s *Scheduler) runBatch(batch []*Job) {
 // time in queue is not a latency sample.
 func (s *Scheduler) dequeue(job *Job) bool {
 	s.metrics.depth[job.shard].Dec()
+	job.strace.End(job.queueSpan)
 	if job.ctx.Err() != nil {
 		s.metrics.jobsCanceled.Inc()
+		job.endSpans()
 		job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
 		s.retire(job)
 		return false
@@ -726,6 +794,25 @@ func (s *Scheduler) start(job *Job) (context.Context, context.CancelFunc) {
 	job.status = JobRunning
 	job.started = time.Now()
 	job.mu.Unlock()
+	job.runSpan = job.strace.Start("run", job.parentSpan)
+	if job.runSpan != span.None {
+		job.strace.SetAttr(job.runSpan, "shard", int64(job.shard))
+		if job.sweep != nil {
+			job.strace.SetAttrStr(job.runSpan, "engine", "sweep")
+			job.strace.SetAttr(job.runSpan, "variants", int64(len(job.sweep.Variants)))
+			do := job.sweep.Family.DrawOrder
+			if do == "" {
+				do = "v1"
+			}
+			job.strace.SetAttrStr(job.runSpan, "draw_order", do)
+		} else {
+			job.strace.SetAttrStr(job.runSpan, "engine", job.spec.engineName())
+			job.strace.SetAttrStr(job.runSpan, "draw_order", job.spec.drawOrderVersion())
+			if job.batchSize > 0 {
+				job.strace.SetAttr(job.runSpan, "batch_size", int64(job.batchSize))
+			}
+		}
+	}
 	if s.cfg.JobTimeout > 0 {
 		return context.WithTimeoutCause(job.ctx, s.cfg.JobTimeout, ErrJobTimeout)
 	}
@@ -748,6 +835,7 @@ func (s *Scheduler) rewriteTimeout(ctx context.Context, err error) error {
 // the job's terminal log line.
 func (s *Scheduler) settle(job *Job, report *Report, rec *trace.Recorder, err error) {
 	dur := s.observeRun(job)
+	job.endSpans()
 	switch {
 	case err == nil:
 		s.metrics.jobsDone.Inc()
@@ -797,7 +885,14 @@ func (s *Scheduler) execute(job *Job) {
 		return
 	}
 	s.metrics.markDrawOrder(job.spec.DrawOrder)
-	report, rec, err := runSpec(ctx, &job.spec, job.hash, job.setLiveTrace)
+	report, rec, err := runSpec(ctx, &job.spec, job.hash, &runHooks{
+		onTrace: job.setLiveTrace,
+		tr:      job.strace,
+		parent:  job.runSpan,
+		prof:    s.metrics.stepCost,
+		engine:  job.spec.engineName(),
+		order:   job.spec.drawOrderVersion(),
+	})
 	s.metrics.running.Dec()
 	s.settle(job, report, rec, s.rewriteTimeout(ctx, err))
 }
@@ -807,8 +902,12 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 	s.metrics.sweeps.Inc()
 	sw := job.sweep
 	variants := make([]experiment.SweepVariant, len(sw.Variants))
+	engines := make([]string, len(sw.Variants))
+	orders := make([]string, len(sw.Variants))
+	steps := make([]int, len(sw.Variants))
 	for i := range sw.Variants {
 		spec := sw.variantSpec(i)
+		engines[i], orders[i], steps[i] = spec.engineName(), spec.drawOrderVersion(), spec.Steps
 		variants[i] = experiment.SweepVariant{
 			N:            spec.N,
 			Engine:       spec.engineKind(),
@@ -817,12 +916,17 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 			Seed:         spec.Seed,
 			CheckEvery:   spec.checkInterval(),
 			DrawOrder:    spec.DrawOrder,
+			Trace:        job.strace,
+			Span:         job.runSpan,
 		}
 	}
 	results, err := experiment.RunSweep(ctx, sw.familyConfig(), variants, experiment.SweepOptions{
 		Workers:  s.cfg.SweepWorkers,
 		Gate:     s.sweepGate,
 		Counters: &s.sweepCtrs,
+		OnTask: func(v, lanes int, elapsed time.Duration) {
+			s.metrics.stepCost.Observe(engines[v], orders[v], steps[v], lanes, elapsed.Nanoseconds())
+		},
 	})
 	if err != nil {
 		s.settle(job, nil, nil, err)
@@ -839,6 +943,7 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 	}
 	dur := s.observeRun(job)
 	s.metrics.jobsDone.Inc()
+	job.endSpans()
 	job.finishSweep(reports)
 	s.logger.Info("sweep job done",
 		"job", job.id, "spec_hash", job.hash, "variants", len(reports),
@@ -884,8 +989,12 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 	ctxs := make([]context.Context, len(live))
 	cancels := make([]context.CancelFunc, len(live))
 	variants := make([]experiment.SweepVariant, len(live))
+	engines := make([]string, len(live))
+	orders := make([]string, len(live))
 	for i, job := range live {
 		i, job := i, job
+		job.batchSize = len(live)
+		engines[i], orders[i] = job.spec.engineName(), job.spec.drawOrderVersion()
 		variants[i] = experiment.SweepVariant{
 			N:            job.spec.N,
 			Engine:       job.spec.engineKind(),
@@ -895,8 +1004,15 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 			CheckEvery:   job.spec.checkInterval(),
 			DrawOrder:    job.spec.DrawOrder,
 			Ctx:          job.ctx,
+			// Each coalesced job records task spans into its OWN
+			// request's trace. The run span only exists once OnStart
+			// fires, so the variant's parent span is patched there —
+			// the Once in RunSweep orders the write before every task
+			// of this variant reads it.
+			Trace: job.strace,
 			OnStart: func() context.Context {
 				ctxs[i], cancels[i] = s.start(job)
+				variants[i].Span = job.runSpan
 				return ctxs[i]
 			},
 		}
@@ -906,7 +1022,12 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 	// the whole batch runs one contract version.
 	s.metrics.markDrawOrder(live[0].spec.DrawOrder)
 	results, err := experiment.RunSweep(context.Background(), live[0].spec.coreConfig(0), variants,
-		experiment.SweepOptions{Workers: s.cfg.SweepWorkers, Gate: s.sweepGate, Counters: &s.sweepCtrs})
+		experiment.SweepOptions{
+			Workers: s.cfg.SweepWorkers, Gate: s.sweepGate, Counters: &s.sweepCtrs,
+			OnTask: func(v, lanes int, elapsed time.Duration) {
+				s.metrics.stepCost.Observe(engines[v], orders[v], live[v].spec.Steps, lanes, elapsed.Nanoseconds())
+			},
+		})
 	s.metrics.running.Add(float64(-n))
 	for _, cancel := range cancels {
 		if cancel != nil {
@@ -961,15 +1082,38 @@ func (s *Scheduler) retire(job *Job) {
 	}
 }
 
+// runHooks carries the scheduler's per-job observability into the
+// solo run path: the live-trace publisher, the request's span trace,
+// and the step-cost profiler. A nil *runHooks — what the library and
+// test entry points pass — disables all three; the run itself is
+// unaffected either way.
+type runHooks struct {
+	onTrace func(*trace.Recorder)
+	tr      *span.Trace
+	parent  span.ID
+	prof    *obs.StepCostProfiler
+	engine  string
+	order   string
+}
+
+// noHooks stands in for a nil *runHooks so the run paths never
+// nil-check the struct (its fields are all individually nil-safe).
+var noHooks = runHooks{parent: span.None}
+
 // runSpec executes every replication of spec, checking ctx between
 // steps. Replication r seeds with experiment.SeedFor(spec.Seed, r), so
 // replication 0 reproduces core.New(coreConfig(spec.Seed)).Run(Steps)
 // step for step, and the whole job is deterministic in the spec alone.
-// onTrace, when non-nil, is called with the trace recorder as soon as
-// it exists, so the serving layer can stream rows while the job runs.
-func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
+// h, when non-nil, threads the job's observability: the live-trace
+// publisher (called with the trace recorder as soon as it exists, so
+// the serving layer can stream rows while the job runs), per-
+// replication spans, and step-cost samples.
+func runSpec(ctx context.Context, spec *Spec, hash string, h *runHooks) (*Report, *trace.Recorder, error) {
+	if h == nil {
+		h = &noHooks
+	}
 	if spec.DrawOrder == "v2" {
-		return runSpecV2(ctx, spec, hash, onTrace)
+		return runSpecV2(ctx, spec, hash, h)
 	}
 	var regrets stats.Summary
 	var rewardMean, bestQ float64
@@ -997,13 +1141,25 @@ func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.R
 			// in place each step, so tracing allocates nothing per row
 			// beyond the recorder's own storage.
 			row = make([]float64, 2, 2+m)
-			if onTrace != nil {
-				onTrace(repRec)
+			if h.onTrace != nil {
+				h.onTrace(repRec)
 			}
 		}
+		sid := h.tr.Start("replication", h.parent)
+		h.tr.SetAttr(sid, "replication", int64(rep))
+		var t0 time.Time
+		if h.prof != nil {
+			t0 = time.Now()
+		}
 		avg, err := runGroup(ctx, g, spec.Steps, checkEvery, repRec, row)
+		h.tr.End(sid)
 		if err != nil {
+			// A canceled or failed replication ran an unknown fraction
+			// of its steps — not a valid per-step sample.
 			return nil, nil, err
+		}
+		if h.prof != nil {
+			h.prof.Observe(h.engine, h.order, spec.Steps, 1, time.Since(t0).Nanoseconds())
 		}
 		bestQ = g.BestQuality()
 		regrets.Add(bestQ - avg)
@@ -1044,7 +1200,10 @@ func runSpec(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.R
 // requested (replication 0, as in v1), and the context-check interval
 // shrinks by the block width because every block step advances all
 // lanes.
-func runSpecV2(ctx context.Context, spec *Spec, hash string, onTrace func(*trace.Recorder)) (*Report, *trace.Recorder, error) {
+func runSpecV2(ctx context.Context, spec *Spec, hash string, h *runHooks) (*Report, *trace.Recorder, error) {
+	if h == nil {
+		h = &noHooks
+	}
 	var regrets stats.Summary
 	var rewardMean, bestQ float64
 	var popSum, popBuf []float64
@@ -1069,18 +1228,27 @@ func runSpecV2(ctx context.Context, spec *Spec, hash string, onTrace func(*trace
 				return nil, nil, err
 			}
 			row = make([]float64, 2, 2+m)
-			if onTrace != nil {
-				onTrace(repRec)
+			if h.onTrace != nil {
+				h.onTrace(repRec)
 			}
+		}
+		sid := h.tr.Start("replication.block", h.parent)
+		h.tr.SetAttr(sid, "replication", int64(rep))
+		h.tr.SetAttr(sid, "lanes", int64(lanes))
+		var t0 time.Time
+		if h.prof != nil {
+			t0 = time.Now()
 		}
 		checkEvery := max(spec.checkInterval()/lanes, 1)
 		for t := 1; t <= spec.Steps; t++ {
 			if t%checkEvery == 0 {
 				if err := ctx.Err(); err != nil {
+					h.tr.End(sid)
 					return nil, nil, err
 				}
 			}
 			if err := g.StepBlock(); err != nil {
+				h.tr.End(sid)
 				return nil, nil, fmt.Errorf("service: step %d: %w", t, err)
 			}
 			if repRec != nil {
@@ -1088,9 +1256,14 @@ func runSpecV2(ctx context.Context, spec *Spec, hash string, onTrace func(*trace
 				row[1] = g.GroupReward(0)
 				full := g.AppendPopularity(0, row[:2])
 				if err := repRec.Record(full...); err != nil {
+					h.tr.End(sid)
 					return nil, nil, err
 				}
 			}
+		}
+		h.tr.End(sid)
+		if h.prof != nil {
+			h.prof.Observe(h.engine, h.order, spec.Steps, lanes, time.Since(t0).Nanoseconds())
 		}
 		bestQ = g.BestQuality()
 		for k := 0; k < lanes; k++ {

@@ -369,6 +369,29 @@ func (s *Spec) checkInterval() int {
 	return int(max(every, 1))
 }
 
+// engineName is the observability name of the engine this spec
+// actually runs: the topology and infinite-population selections
+// override the Engine field. The values match the step-cost
+// profiler's vocabulary (aggregate|agent|infinite|network).
+func (s *Spec) engineName() string {
+	if s.Topology != nil {
+		return "network"
+	}
+	if s.N == 0 {
+		return "infinite"
+	}
+	return s.Engine
+}
+
+// drawOrderVersion is the spec's draw-order contract version as a
+// label value ("" normalizes to "v1").
+func (s *Spec) drawOrderVersion() string {
+	if s.DrawOrder == "v2" {
+		return "v2"
+	}
+	return "v1"
+}
+
 // blockLanes returns the replication-block width the scheduler uses
 // for a draw_order v2 run of this spec. Width is a scheduling choice,
 // not part of the contract (any partition replays identically), so

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Tiered composes a Memory front with a Disk backend: Gets read
@@ -32,6 +33,32 @@ type Tiered[V any] struct {
 	drained chan struct{} // closed when the spiller has flushed and exited
 
 	promotions, spills, spillErrors atomic.Uint64
+
+	// opHook, when set, observes tier-movement operations ("promote",
+	// "spill") with their start time and duration. Stored atomically so
+	// SetOpHook is safe after the spiller goroutine is already running.
+	opHook atomic.Pointer[func(op string, start time.Time, elapsed time.Duration)]
+}
+
+// SetOpHook installs fn to observe tier-movement timings: a
+// synchronous read-through promotion (disk read + decode + memory
+// put) and each background spill (encode + disk append). Promotions
+// run on the request path; spills have no request context, which is
+// why the hook carries its own start time instead of a context. A nil
+// fn removes the hook.
+func (t *Tiered[V]) SetOpHook(fn func(op string, start time.Time, elapsed time.Duration)) {
+	if fn == nil {
+		t.opHook.Store(nil)
+		return
+	}
+	t.opHook.Store(&fn)
+}
+
+// observeOp reports one completed operation to the hook, if any.
+func (t *Tiered[V]) observeOp(op string, start time.Time) {
+	if fn := t.opHook.Load(); fn != nil {
+		(*fn)(op, start, time.Since(start))
+	}
 }
 
 type spillReq[V any] struct {
@@ -66,6 +93,10 @@ func (t *Tiered[V]) Get(key string) (V, bool) {
 	if v, ok := t.mem.Get(key); ok {
 		return v, true
 	}
+	var start time.Time
+	if t.opHook.Load() != nil {
+		start = time.Now()
+	}
 	raw, ok := t.disk.Get(key)
 	if !ok {
 		var zero V
@@ -78,6 +109,9 @@ func (t *Tiered[V]) Get(key string) (V, bool) {
 	}
 	t.promotions.Add(1)
 	t.mem.Put(key, v)
+	if !start.IsZero() {
+		t.observeOp("promote", start)
+	}
 	return v, true
 }
 
@@ -122,6 +156,10 @@ func (t *Tiered[V]) spiller() {
 
 // spill encodes and persists one value.
 func (t *Tiered[V]) spill(key string, value V) {
+	var start time.Time
+	if t.opHook.Load() != nil {
+		start = time.Now()
+	}
 	raw, err := t.codec.Encode(value)
 	if err != nil {
 		t.spillErrors.Add(1)
@@ -129,6 +167,9 @@ func (t *Tiered[V]) spill(key string, value V) {
 	}
 	t.disk.Put(key, raw)
 	t.spills.Add(1)
+	if !start.IsZero() {
+		t.observeOp("spill", start)
+	}
 }
 
 // Len counts distinct live keys across both tiers. Every memory entry
