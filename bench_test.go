@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -464,6 +465,93 @@ func BenchmarkServiceSimulate(b *testing.B) {
 			b.Fatalf("hot loop missed the cache: %+v", st)
 		}
 	})
+	// The cache-hot regime again, but with the tsdb collector capturing
+	// the whole registry every millisecond in the background — an
+	// aggressive stand-in for the daemon's -obs-scrape-interval loop
+	// (default 1s). Compare against "hot" in the same run: the serving
+	// path takes no lock the collector holds for long, so the two must
+	// stay at parity.
+	b.Run("hot_collected", func(b *testing.B) {
+		sched, cache := newStack(b, 16)
+		ring := tsdb.NewRing(sched.Registry(), 128)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case now := <-t.C:
+					ring.Collect(now)
+				}
+			}
+		}()
+		simulate(b, sched, cache, spec) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := simulate(b, sched, cache, spec); r.Replications != 1 {
+				b.Fatal("bad report")
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+		if st := cache.Stats(); st.Hits < uint64(b.N) {
+			b.Fatalf("hot loop missed the cache: %+v", st)
+		}
+	})
+}
+
+// BenchmarkRegistrySnapshot pins the snapshot ring's capture cost over
+// the full serving registry (scheduler + HTTP + cache + runtime
+// families): the first Collect into a fresh Snapshot allocates
+// O(series) — every slice it will ever need — and steady-state
+// captures into the recycled Snapshot allocate nothing (asserted,
+// except under the race detector whose instrumentation allocates).
+// This is the contract that lets the daemon scrape itself every second
+// without feeding the GC.
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	sched, err := service.NewScheduler(service.SchedulerConfig{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sched.Close)
+	cache, err := service.NewCache(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	service.NewServer(sched, cache) // register the full serving family set
+	reg := sched.Registry()
+
+	var series int
+	firstAllocs := testing.AllocsPerRun(1, func() {
+		snap := reg.Collect(nil, time.Now())
+		series = 0
+		for i := range snap.Families {
+			series += len(snap.Families[i].Points)
+		}
+	})
+
+	snap := reg.Collect(nil, time.Now())
+	if !raceEnabled {
+		if allocs := testing.AllocsPerRun(100, func() {
+			snap = reg.Collect(snap, time.Now())
+		}); allocs != 0 {
+			b.Fatalf("steady-state Collect allocates %v per capture; want 0", allocs)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap = reg.Collect(snap, time.Now())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(series), "series")
+	b.ReportMetric(firstAllocs, "first_capture_allocs")
 }
 
 // BenchmarkStoreTiers pins the two performance contracts of the

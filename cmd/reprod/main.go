@@ -34,14 +34,36 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/service"
 	"repro/internal/store"
 )
+
+// ruleFlags collects repeatable -slo-rule occurrences.
+type ruleFlags []string
+
+func (r *ruleFlags) String() string { return strings.Join(*r, "; ") }
+
+func (r *ruleFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+// defaultSLORules is the rule set evaluated when no -slo-rule is
+// given: queue wait p99, overload shed rate, and GC pause p99 — the
+// three signals that between them say "is this daemon serving well".
+var defaultSLORules = []string{
+	"queue_wait_p99: p99(reprod_sched_queue_wait_seconds) < 250ms over 1m",
+	"overload_rejections: rate(reprod_sched_overload_rejections_total) < 1 over 1m",
+	"gc_pause_p99: p99(reprod_go_gc_pause_seconds) < 10ms over 1m",
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -53,8 +75,10 @@ func main() {
 }
 
 // run starts the daemon and blocks until ctx is canceled or serving
-// fails. If ready is non-nil, the bound address is sent on it once the
-// listener is up (used by tests to serve on :0).
+// fails. If ready is non-nil, the bound serving address is sent on it
+// once the listener is up, followed by the debug listener's address
+// when -debug-addr is set (used by tests to serve on :0; size the
+// channel for two sends).
 func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
 	fs.SetOutput(logw)
@@ -75,8 +99,13 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		debugAddr  = fs.String("debug-addr", "", "listen address for net/http/pprof profiling (empty = disabled; never exposed on -addr)")
 		traceRing  = fs.Int("trace-ring", 256, "completed span traces retained for /debug/traces")
 		traceSlow  = fs.Duration("trace-slow", time.Second, "log any request trace at least this long (0 disables)")
+		scrapeInt  = fs.Duration("obs-scrape-interval", time.Second, "metrics history capture cadence (SLO evaluation tick)")
+		obsHistory = fs.Int("obs-history", 300, "registry snapshots retained for SLO windows and /debug/dash")
 		version    = fs.Bool("version", false, "print the build version and exit")
 	)
+	var sloRules ruleFlags
+	fs.Var(&sloRules, "slo-rule",
+		`SLO rule "name: fn(metric) < threshold over window [budget N%]"; repeatable (default: queue wait p99, shed rate, GC pause p99)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +140,35 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		slowOpts = append(slowOpts, span.WithSlowLog(logger, *traceSlow))
 	}
 	traces := span.NewRecorder(*traceRing, slowOpts...)
+	// SLO engine: a snapshot ring over the scheduler's registry plus
+	// the (default or -slo-rule) rule set, ticking every
+	// -obs-scrape-interval for the daemon's lifetime. /v1/slo and
+	// /statsz read it on the serving listener; /debug/dash renders it
+	// on the debug listener.
+	if *scrapeInt <= 0 {
+		return fmt.Errorf("bad -obs-scrape-interval %v: must be positive", *scrapeInt)
+	}
+	ruleSrc := []string(sloRules)
+	if len(ruleSrc) == 0 {
+		ruleSrc = defaultSLORules
+	}
+	rules := make([]slo.Rule, 0, len(ruleSrc))
+	for _, src := range ruleSrc {
+		rule, err := slo.ParseRule(src)
+		if err != nil {
+			return fmt.Errorf("bad -slo-rule: %w", err)
+		}
+		rules = append(rules, rule)
+	}
+	ring := tsdb.NewRing(sched.Registry(), *obsHistory)
+	engine := slo.New(slo.Config{
+		Ring:     ring,
+		Registry: sched.Registry(),
+		Rules:    rules,
+		Interval: *scrapeInt,
+		Logger:   logger,
+	})
+	go engine.Run(ctx)
 	// Result storage: in-proc LRU alone, or — with -store-dir — the
 	// LRU fronting a crash-safe disk segment log, so the cache
 	// warm-starts across restarts. The cache owns the backend and
@@ -152,7 +210,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		return err
 	}
 	app := service.NewServer(sched, resultCache,
-		service.WithLogger(logger), service.WithTraces(traces))
+		service.WithLogger(logger), service.WithTraces(traces),
+		service.WithSLO(engine))
 	srv := &http.Server{
 		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -164,6 +223,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	// clients) must not route to them. -debug-addr should bind a
 	// loopback or otherwise firewalled interface.
 	var debugSrv *http.Server
+	var debugLn net.Listener
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -176,6 +236,21 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// The operator dashboard rides the same firewalled listener as
+		// pprof: self-contained HTML over the snapshot ring, with system
+		// panels above the SLO rule table.
+		dmux.Handle("GET /debug/dash", engine.DashHandler(obs.BuildVersion(), []slo.DashSeries{
+			{Title: "req/s", Unit: "/s", Kind: slo.ExprRate,
+				Sel: tsdb.Selector{Metric: "reprod_http_requests_total"}},
+			{Title: "queue wait p99", Unit: "s", Kind: slo.ExprQuantile, Q: 0.99,
+				Sel: tsdb.Selector{Metric: "reprod_sched_queue_wait_seconds"}},
+			{Title: "queue depth", Kind: slo.ExprValue,
+				Sel: tsdb.Selector{Metric: "reprod_sched_queue_depth"}},
+			{Title: "goroutines", Kind: slo.ExprValue,
+				Sel: tsdb.Selector{Metric: "reprod_go_goroutines"}},
+			{Title: "heap", Unit: "B", Kind: slo.ExprValue,
+				Sel: tsdb.Selector{Metric: "reprod_go_heap_alloc_bytes"}},
+		}))
 		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -183,10 +258,16 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 			}
 		}()
 		logger.Info("pprof serving", "debug_addr", dln.Addr().String())
+		debugLn = dln
 	}
 
 	if ready != nil {
 		ready <- ln.Addr()
+		// A second send reports the debug listener (tests binding
+		// -debug-addr :0 need its resolved port); absent when disabled.
+		if debugLn != nil {
+			ready <- debugLn.Addr()
+		}
 	}
 	logger.Info("serving",
 		"addr", ln.Addr().String(), "workers", *workers, "queue", *queue,

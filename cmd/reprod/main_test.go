@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"reflect"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -17,20 +18,38 @@ import (
 // base URL plus a shutdown func that triggers the graceful path.
 func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
 	t.Helper()
+	base, _, stop := startDaemonDebug(t, extraArgs...)
+	return base, stop
+}
+
+// startDaemonDebug is startDaemon plus the debug listener's base URL,
+// which run publishes as a second ready send when -debug-addr is among
+// extraArgs (empty otherwise).
+func startDaemonDebug(t *testing.T, extraArgs ...string) (string, string, func() error) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	ready := make(chan net.Addr, 1)
+	ready := make(chan net.Addr, 2) // serving addr, then debug addr when enabled
 	errCh := make(chan error, 1)
 	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "4", "-cache", "8"}, extraArgs...)
 	go func() {
 		errCh <- run(ctx, args, io.Discard, ready)
 	}()
-	var addr net.Addr
-	select {
-	case addr = <-ready:
-	case err := <-errCh:
-		t.Fatalf("daemon exited early: %v", err)
-	case <-time.After(10 * time.Second):
-		t.Fatal("daemon never became ready")
+	recv := func(what string) net.Addr {
+		t.Helper()
+		select {
+		case addr := <-ready:
+			return addr
+		case err := <-errCh:
+			t.Fatalf("daemon exited before the %s listener was ready: %v", what, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never published the %s address", what)
+		}
+		return nil
+	}
+	addr := recv("serving")
+	var debugBase string
+	if slices.Contains(args, "-debug-addr") {
+		debugBase = "http://" + recv("debug").String()
 	}
 	stopped := false
 	stop := func() error {
@@ -47,7 +66,7 @@ func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
 		}
 	}
 	t.Cleanup(func() { _ = stop() })
-	return "http://" + addr.String(), stop
+	return "http://" + addr.String(), debugBase, stop
 }
 
 func TestDaemonServesSimulate(t *testing.T) {

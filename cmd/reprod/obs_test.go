@@ -82,13 +82,17 @@ func TestDaemonShutdownSequence(t *testing.T) {
 // the step-cost profiler, runtime collector, and build-info families.
 // It also exercises the span-tracing surface end to end: the async
 // job's span tree on /v1/jobs/{id}/spans and the trace ring on
-// /debug/traces. With METRICS_SNAPSHOT / SPANS_SNAPSHOT set, the
-// scraped page and span tree are written there so CI can archive them
-// as build artifacts.
+// /debug/traces. The SLO surface rides along: /v1/slo must settle to
+// every default rule reporting ok, and the /debug/dash operator page
+// on the debug listener must be a self-contained HTML document with
+// inline SVG sparklines. With METRICS_SNAPSHOT / SPANS_SNAPSHOT /
+// DASH_SNAPSHOT set, the scraped page, span tree, and dashboard are
+// written there so CI can archive them as build artifacts.
 func TestDaemonMetricsSmoke(t *testing.T) {
 	t.Parallel()
 
-	base, _ := startDaemon(t)
+	base, debugBase, _ := startDaemonDebug(t,
+		"-debug-addr", "127.0.0.1:0", "-obs-scrape-interval", "50ms")
 
 	// Traffic: one simulate carrying an inbound X-Request-ID.
 	body := `{"n": 1500, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 200, "seed": 41}`
@@ -222,9 +226,77 @@ func TestDaemonMetricsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"runtime"`, `"goroutines"`, `"heap_alloc_bytes"`} {
+	for _, want := range []string{
+		`"runtime"`, `"goroutines"`, `"heap_alloc_bytes"`,
+		`"started_at"`, `"now"`, `"slo"`,
+	} {
 		if !strings.Contains(string(zpage), want) {
 			t.Errorf("statsz lacks %s: %s", want, zpage)
+		}
+	}
+
+	// /v1/slo settles to every default rule ok: the engine ticks every
+	// 50ms here, so within the deadline each rule has history and the
+	// idle daemon violates none of them.
+	var sloStatus struct {
+		HistoryLen int `json:"history_len"`
+		Rules      []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"rules"`
+	}
+	sloDeadline := time.Now().Add(10 * time.Second)
+	for {
+		sresp, err := http.Get(base + "/v1/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sraw, err := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/slo status %d: %s", sresp.StatusCode, sraw)
+		}
+		if err := json.Unmarshal(sraw, &sloStatus); err != nil {
+			t.Fatalf("/v1/slo decode: %v (%s)", err, sraw)
+		}
+		allOK := len(sloStatus.Rules) == 3 && sloStatus.HistoryLen > 0
+		for _, r := range sloStatus.Rules {
+			allOK = allOK && r.State == "ok"
+		}
+		if allOK {
+			break
+		}
+		if time.Now().After(sloDeadline) {
+			t.Fatalf("SLO rules never settled to ok: %s", sraw)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The operator dashboard serves from the debug listener as one
+	// self-contained document with inline SVG sparklines.
+	dashResp, err := http.Get(debugBase + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dash, err := io.ReadAll(dashResp.Body)
+	dashResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dashResp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/dash status %d", dashResp.StatusCode)
+	}
+	for _, want := range []string{"<!DOCTYPE html", "<svg", "queue_wait_p99"} {
+		if !strings.Contains(string(dash), want) {
+			t.Errorf("debug/dash lacks %s", want)
+		}
+	}
+	if path := os.Getenv("DASH_SNAPSHOT"); path != "" {
+		if err := os.WriteFile(path, dash, 0o644); err != nil {
+			t.Fatalf("write DASH_SNAPSHOT: %v", err)
 		}
 	}
 
@@ -263,6 +335,10 @@ func TestDaemonMetricsSmoke(t *testing.T) {
 		"reprod_go_goroutines",
 		"reprod_go_heap_alloc_bytes",
 		"reprod_go_gc_pause_seconds_bucket",
+		`reprod_engine_step_cost_samples_total{engine="aggregate",draw_order="v1"}`,
+		`reprod_engine_step_cost_last_sample_age_seconds{engine="aggregate",draw_order="v1"}`,
+		`reprod_slo_status{rule="queue_wait_p99"} 0`,
+		`reprod_slo_breaches_total{rule="queue_wait_p99"} 0`,
 	} {
 		if !strings.Contains(string(page), want) {
 			t.Errorf("metrics page lacks %q", want)

@@ -186,7 +186,13 @@
 //	store_disk_bytes                       gauge     segment bytes on disk
 //	store_disk_segments                    gauge     segment file count
 //	uptime_seconds                         gauge     seconds since wiring
+//	slo_status{rule}                       gauge     SLO rule state: 0 ok | 1 warn | 2 breach
+//	slo_breaches_total{rule}               counter   transitions into breach
 //	engine_step_cost_ns{engine,draw_order} gauge     EWMA cost of one simulated step per lane
+//	engine_step_cost_samples_total{engine,draw_order}
+//	                                       counter   timed segments folded into the EWMA
+//	engine_step_cost_last_sample_age_seconds{engine,draw_order}
+//	                                       gauge     seconds since the EWMA last absorbed a sample
 //	go_goroutines                          gauge     current goroutine count
 //	go_heap_alloc_bytes                    gauge     live heap bytes
 //	go_heap_sys_bytes                      gauge     heap bytes held from the OS
@@ -203,7 +209,47 @@
 // (internal/obs.StepCostProfiler): every successful replication or
 // replication block reports elapsed/(steps×lanes) into a per-(engine,
 // draw_order) EWMA, the measured cost model the roadmap's cost-aware
-// admission control needs.
+// admission control needs. Because an EWMA lies by omission once
+// traffic stops, the profiler also exports per-cell sample counts and
+// the age of the newest sample, so consumers can tell a fresh estimate
+// from a stale one.
+//
+// # SLO quickstart
+//
+// The daemon watches its own health. internal/obs/tsdb captures the
+// whole registry into an in-memory snapshot ring every
+// -obs-scrape-interval (default 1s), retaining the last -obs-history
+// samples (default 300 — five minutes of 1s captures); windowed rates
+// come from counter deltas and quantiles from interpolated histogram
+// bucket deltas, exactly as a Prometheus server would derive them,
+// but with zero external infrastructure. internal/obs/slo evaluates
+// declarative rules against that ring on every capture:
+//
+//	reprod -addr :8080 -debug-addr 127.0.0.1:6060 \
+//	  -slo-rule 'queue_wait_p99: p99(reprod_sched_queue_wait_seconds) < 250ms over 1m' \
+//	  -slo-rule 'shed_rate: rate(reprod_sched_overload_rejections_total) < 1 over 1m budget 5%'
+//	curl -s localhost:8080/v1/slo | jq .          # rule states, values, burn rates
+//	open http://127.0.0.1:6060/debug/dash         # self-contained operator dashboard
+//
+// A rule is "name: fn(metric{label=value}) OP threshold over window
+// [budget N%]" with fn one of pNN (histogram quantile), rate (counter
+// per-second rate), or value (gauge); thresholds accept durations
+// (250ms) or floats. Without -slo-rule the daemon evaluates a default
+// set: queue-wait p99, overload-shed rate, and GC-pause p99. Each rule
+// carries an error budget (default 1%): the engine tracks the
+// violating-tick fraction over the rule's window (fast burn) and over
+// 6× the window (slow burn), each normalized by the budget — burn > 1
+// means the budget is being spent faster than it renews. State is ok,
+// warn (recovered but fast burn still over budget), or breach
+// (currently violating); transitions are logged through slog and
+// exported as reprod_slo_status{rule} / reprod_slo_breaches_total{rule},
+// so the SLO engine's own output is scrapable and alertable. GET
+// /v1/slo serves the full status as JSON, /statsz embeds it as the slo
+// section (alongside started_at/now/uptime_seconds), and GET
+// /debug/dash on the debug listener renders rule badges plus SVG
+// sparklines for the key serving signals — one self-contained HTML
+// document with zero external assets, usable from a curl | browser on
+// an air-gapped box.
 //
 // # Tracing quickstart
 //

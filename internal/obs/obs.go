@@ -108,10 +108,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // back a counter or gauge family).
 type child struct {
 	labelValues []string
-	counter     *Counter
-	gauge       *Gauge
-	hist        *Histogram
-	fn          func() float64
+	// key is childKey(labelValues), computed once at creation so
+	// scrape-time snapshots can carry a stable series identity without
+	// re-joining (and re-allocating) the label values.
+	key     string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
 }
 
 // family is every metric sharing one name: HELP/TYPE metadata, the
@@ -192,6 +196,7 @@ func (f *family) get(values []string, mk func() *child) *child {
 	}
 	c := mk()
 	c.labelValues = append([]string(nil), values...)
+	c.key = key
 	f.children[key] = c
 	return c
 }

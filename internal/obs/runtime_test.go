@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestRuntimeAndStepCostExposition registers the runtime collector,
@@ -129,6 +130,56 @@ func TestStepCostProfiler(t *testing.T) {
 	nilProf.Observe("agent", "v1", 10, 1, 100)
 	if got := nilProf.Estimate("agent", "v1"); got != 0 {
 		t.Fatalf("nil profiler estimate = %v", got)
+	}
+}
+
+// TestStepCostProfilerFreshness covers the staleness satellite: the
+// per-cell sample counter and last-sample age, both as accessors and
+// as exported families.
+func TestStepCostProfilerFreshness(t *testing.T) {
+	t.Parallel()
+
+	reg := NewRegistry()
+	p := NewStepCostProfiler(reg)
+	if got := p.Samples("agent", "v1"); got != 0 {
+		t.Fatalf("samples before traffic = %d", got)
+	}
+	if _, ok := p.LastSampleAge("agent", "v1"); ok {
+		t.Fatal("LastSampleAge reported ok before any sample")
+	}
+
+	p.Observe("agent", "v1", 100, 1, 5_000)
+	p.Observe("agent", "v1", 100, 1, 5_000)
+	p.Observe("agent", "v1", 100, 1, 5_000)
+	if got := p.Samples("agent", "v1"); got != 3 {
+		t.Fatalf("samples = %d, want 3", got)
+	}
+	age, ok := p.LastSampleAge("agent", "v1")
+	if !ok || age < 0 || age > time.Minute {
+		t.Fatalf("LastSampleAge = %v/%v, want a small positive duration", age, ok)
+	}
+	// Unknown names and nil profilers answer zero-valued, like Estimate.
+	if got := p.Samples("quantum", "v1"); got != 0 {
+		t.Fatalf("unknown-engine samples = %d", got)
+	}
+	var nilProf *StepCostProfiler
+	if _, ok := nilProf.LastSampleAge("agent", "v1"); ok {
+		t.Fatal("nil profiler reported a sample age")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("strict check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `reprod_engine_step_cost_samples_total{engine="agent",draw_order="v1"} 3`) {
+		t.Fatalf("samples counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `reprod_engine_step_cost_last_sample_age_seconds{engine="agent",draw_order="v1"}`) {
+		t.Fatalf("age gauge missing:\n%s", out)
 	}
 }
 

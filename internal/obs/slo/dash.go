@@ -1,0 +1,279 @@
+package slo
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs/tsdb"
+)
+
+// DashSeries names one system panel on /debug/dash: a derived series
+// (gauge value, counter rate, or histogram quantile) rendered as a
+// sparkline with its current value.
+type DashSeries struct {
+	// Title is the panel heading ("req/s", "goroutines").
+	Title string
+	// Unit suffixes the current value ("s", "B", "/s"); display only.
+	Unit string
+	// Kind selects the derivation; Q applies to ExprQuantile.
+	Kind ExprKind
+	Q    float64
+	Sel  tsdb.Selector
+}
+
+// DashHandler serves GET /debug/dash: a single self-contained HTML
+// document — inline CSS, inline SVG sparklines drawn from the
+// snapshot ring, a rule table with state badges, and a meta-refresh
+// tag — with zero external asset references, so it renders from an
+// air-gapped operator laptop or a curl > dash.html capture. version
+// labels the header; panels are the system sparklines shown above
+// the rule table. Mount it on the -debug-addr listener (it is an
+// operator surface, like pprof, not an API).
+func (e *Engine) DashHandler(version string, panels []DashSeries) http.Handler {
+	started := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := dashData{
+			Version:  version,
+			Now:      time.Now().UTC().Format(time.RFC3339),
+			Uptime:   time.Since(started).Round(time.Second).String(),
+			Interval: e.interval.String(),
+			History:  e.ring.Len(),
+		}
+		for _, p := range panels {
+			d.Panels = append(d.Panels, e.panel(p))
+		}
+		e.mu.Lock()
+		for _, rs := range e.rules {
+			d.Rules = append(d.Rules, dashRule{
+				Name:      rs.rule.Name,
+				Expr:      rs.rule.Expr,
+				Objective: objective(rs.rule),
+				State:     rs.state.String(),
+				Value:     fmtValue(rs.value, ""),
+				BurnFast:  fmtValue(rs.burnFast, ""),
+				BurnSlow:  fmtValue(rs.burnSlow, ""),
+				Breaches:  rs.breaches,
+				Spark:     sparkline(rs.history(), rs.rule.Threshold),
+			})
+		}
+		e.mu.Unlock()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := dashTmpl.Execute(w, d); err != nil {
+			// Headers are out; nothing to report to the client.
+			return
+		}
+	})
+}
+
+// panel derives one system panel from the ring.
+func (e *Engine) panel(p DashSeries) dashPanel {
+	var samples []tsdb.Sample
+	switch p.Kind {
+	case ExprQuantile:
+		samples = e.ring.SeriesQuantile(p.Sel, p.Q)
+	case ExprRate:
+		samples = e.ring.SeriesRate(p.Sel)
+	default:
+		samples = e.ring.SeriesGauge(p.Sel)
+	}
+	current := math.NaN()
+	for i := len(samples) - 1; i >= 0; i-- {
+		if !math.IsNaN(samples[i].V) {
+			current = samples[i].V
+			break
+		}
+	}
+	return dashPanel{
+		Title:   p.Title,
+		Current: fmtValue(current, p.Unit),
+		Spark:   sparkline(samples, math.NaN()),
+	}
+}
+
+type dashData struct {
+	Version  string
+	Now      string
+	Uptime   string
+	Interval string
+	History  int
+	Panels   []dashPanel
+	Rules    []dashRule
+}
+
+type dashPanel struct {
+	Title   string
+	Current string
+	Spark   template.HTML
+}
+
+type dashRule struct {
+	Name      string
+	Expr      string
+	Objective string
+	State     string
+	Value     string
+	BurnFast  string
+	BurnSlow  string
+	Breaches  uint64
+	Spark     template.HTML
+}
+
+// objective renders "< 0.25 over 1m".
+func objective(r Rule) string {
+	op := ">"
+	if r.Less {
+		op = "<"
+	}
+	return fmt.Sprintf("%s %s over %s", op, strconv.FormatFloat(r.Threshold, 'g', 3, 64), r.Window)
+}
+
+// fmtValue renders a dashboard number compactly; NaN renders as a
+// dash (no data).
+func fmtValue(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "–"
+	}
+	var s string
+	switch a := math.Abs(v); {
+	case a != 0 && a < 0.001:
+		s = strconv.FormatFloat(v, 'e', 2, 64)
+	case a < 10:
+		s = strconv.FormatFloat(v, 'f', 4, 64)
+	case a < 10000:
+		s = strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		s = strconv.FormatFloat(v, 'g', 4, 64)
+	}
+	return s + unit
+}
+
+// Sparkline geometry (SVG user units).
+const (
+	sparkW   = 220
+	sparkH   = 44
+	sparkPad = 3
+)
+
+// sparkline renders samples as one inline SVG: a polyline per
+// contiguous non-NaN run, scaled to the data range (floored at zero —
+// every dashboard quantity here is non-negative), plus a dashed
+// threshold line when threshold is finite and inside the range. The
+// output references no external assets.
+func sparkline(samples []tsdb.Sample, threshold float64) template.HTML {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		sparkW, sparkH, sparkW, sparkH)
+	lo, hi := 0.0, math.Inf(-1)
+	n := 0
+	for _, s := range samples {
+		if math.IsNaN(s.V) {
+			continue
+		}
+		hi = math.Max(hi, s.V)
+		n++
+	}
+	if !math.IsNaN(threshold) {
+		hi = math.Max(hi, threshold)
+	}
+	if n == 0 {
+		sb.WriteString(`<text x="4" y="26" class="nodata">no data</text></svg>`)
+		return template.HTML(sb.String())
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	x := func(i int) float64 {
+		if len(samples) == 1 {
+			return sparkW / 2
+		}
+		return sparkPad + float64(i)*(sparkW-2*sparkPad)/float64(len(samples)-1)
+	}
+	y := func(v float64) float64 {
+		return sparkH - sparkPad - (v-lo)/(hi-lo)*(sparkH-2*sparkPad)
+	}
+	if !math.IsNaN(threshold) && threshold >= lo && threshold <= hi {
+		ty := y(threshold)
+		fmt.Fprintf(&sb, `<line class="thresh" x1="0" y1="%.1f" x2="%d" y2="%.1f"/>`, ty, sparkW, ty)
+	}
+	var pts strings.Builder
+	flush := func() {
+		if pts.Len() > 0 {
+			fmt.Fprintf(&sb, `<polyline class="line" points="%s"/>`, pts.String())
+			pts.Reset()
+		}
+	}
+	for i, s := range samples {
+		if math.IsNaN(s.V) {
+			flush()
+			continue
+		}
+		if pts.Len() > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x(i), y(s.V))
+	}
+	flush()
+	sb.WriteString(`</svg>`)
+	return template.HTML(sb.String())
+}
+
+// dashTmpl is the whole dashboard document. Everything is inline:
+// style in <style>, charts as inline SVG, refresh via <meta> — no
+// script, no fonts, no fetches.
+var dashTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="5">
+<title>reprod dashboard</title>
+<style>
+:root { color-scheme: light dark; }
+body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2rem auto; max-width: 64rem; padding: 0 1rem; }
+h1 { font-size: 1.15rem; margin: 0 0 .2rem; }
+.meta { color: #777; margin-bottom: 1rem; }
+.panels { display: flex; flex-wrap: wrap; gap: 1rem; margin-bottom: 1.2rem; }
+.panel { border: 1px solid #8884; border-radius: 6px; padding: .5rem .7rem; }
+.panel h2 { font-size: .8rem; font-weight: 600; margin: 0; color: #888; }
+.panel .cur { font-size: 1.05rem; font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .35rem .6rem; border-bottom: 1px solid #8883; vertical-align: middle; }
+th { font-size: .75rem; text-transform: uppercase; letter-spacing: .04em; color: #888; }
+td.num { font-variant-numeric: tabular-nums; }
+.badge { display: inline-block; padding: .1rem .5rem; border-radius: 99px; font-size: .75rem; font-weight: 600; color: #fff; }
+.badge.ok { background: #2e7d32; }
+.badge.warn { background: #ed6c02; }
+.badge.breach { background: #c62828; }
+svg.spark .line { fill: none; stroke: #4285f4; stroke-width: 1.5; }
+svg.spark .thresh { stroke: #c62828; stroke-width: 1; stroke-dasharray: 4 3; }
+svg.spark .nodata { fill: #999; font-size: 11px; }
+code { font-size: .85em; }
+</style>
+</head>
+<body>
+<h1>reprod · SLO dashboard</h1>
+<p class="meta">version {{.Version}} · {{.Now}} · dash up {{.Uptime}} · scrape {{.Interval}} · {{.History}} samples retained · auto-refresh 5s</p>
+{{if .Panels}}<div class="panels">
+{{range .Panels}}<div class="panel"><h2>{{.Title}}</h2><div class="cur">{{.Current}}</div>{{.Spark}}</div>
+{{end}}</div>{{end}}
+<table>
+<thead><tr><th>rule</th><th>state</th><th>value</th><th>objective</th><th>burn 1×/6×</th><th>breaches</th><th>history</th></tr></thead>
+<tbody>
+{{range .Rules}}<tr>
+<td><strong>{{.Name}}</strong><br><code>{{.Expr}}</code></td>
+<td><span class="badge {{.State}}">{{.State}}</span></td>
+<td class="num">{{.Value}}</td>
+<td class="num">{{.Objective}}</td>
+<td class="num">{{.BurnFast}} / {{.BurnSlow}}</td>
+<td class="num">{{.Breaches}}</td>
+<td>{{.Spark}}</td>
+</tr>
+{{end}}</tbody>
+</table>
+</body>
+</html>
+`))

@@ -1,0 +1,82 @@
+package slo
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/tsdb"
+)
+
+// TestDashHandlerSelfContained pins the dashboard's core contract: one
+// 200 text/html document with inline SVG sparklines and zero external
+// asset references — no scripts, stylesheets, images, fonts, or
+// fetches of any kind.
+func TestDashHandlerSelfContained(t *testing.T) {
+	t.Parallel()
+	_, h, eng := newTestEngine(t,
+		"wait_p50: p50(wait_seconds) < 500ms over 5s", nil)
+	for sec := 0; sec < 6; sec++ {
+		h.Observe(0.05)
+		h.Observe(5) // some ticks violate → threshold line + badges exercised
+		eng.Tick(eAt(sec))
+	}
+
+	handler := eng.DashHandler("test-version", []DashSeries{
+		{Title: "wait p50", Unit: "s", Kind: ExprQuantile, Q: 0.5,
+			Sel: tsdb.Selector{Metric: "wait_seconds"}},
+		{Title: "absent gauge", Kind: ExprValue,
+			Sel: tsdb.Selector{Metric: "no_such_metric"}},
+	})
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/dash", nil))
+
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"<!DOCTYPE html",
+		"test-version",
+		"<svg",           // inline sparklines
+		"wait_p50",       // rule row
+		"wait p50",       // panel heading
+		"no data",        // absent-metric panel renders, honestly
+		`class="thresh"`, // threshold line drawn inside the data range
+		`http-equiv="refresh"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Zero external asset references: nothing the browser would fetch.
+	for _, banned := range []string{
+		"<script", "<link", "src=", "href=", "url(", "@import", "<iframe",
+	} {
+		if strings.Contains(body, banned) {
+			t.Errorf("dashboard contains external-asset marker %q", banned)
+		}
+	}
+}
+
+// TestDashHandlerEmptyRing renders before any Collect: every sparkline
+// says "no data" and nothing panics.
+func TestDashHandlerEmptyRing(t *testing.T) {
+	t.Parallel()
+	_, _, eng := newTestEngine(t,
+		"wait_p50: p50(wait_seconds) < 500ms over 5s", nil)
+	handler := eng.DashHandler("v", nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/dash", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "no data") {
+		t.Error("empty-ring dashboard does not say no data")
+	}
+}

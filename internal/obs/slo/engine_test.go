@@ -1,0 +1,222 @@
+package slo
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+var e0 = time.Unix(50_000, 0)
+
+func eAt(sec int) time.Time { return e0.Add(time.Duration(sec) * time.Second) }
+
+// newTestEngine wires a registry with one histogram, a ring, and an
+// engine evaluating the given rule at a 1s tick cadence.
+func newTestEngine(t *testing.T, ruleSrc string, logw *bytes.Buffer) (*obs.Registry, *obs.Histogram, *Engine) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("wait_seconds", "", []float64{0.1, 1, 10})
+	rule, err := ParseRule(ruleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logger *slog.Logger
+	if logw != nil {
+		logger = slog.New(slog.NewTextHandler(logw, nil))
+	}
+	eng := New(Config{
+		Ring:     tsdb.NewRing(reg, 32),
+		Registry: reg,
+		Rules:    []Rule{rule},
+		Interval: time.Second,
+		Logger:   logger,
+	})
+	return reg, h, eng
+}
+
+// ruleAt fetches the single rule's status at the given instant.
+func ruleAt(t *testing.T, eng *Engine, now time.Time) RuleStatus {
+	t.Helper()
+	st := eng.Status(now)
+	if len(st.Rules) != 1 {
+		t.Fatalf("Status holds %d rules, want 1", len(st.Rules))
+	}
+	return st.Rules[0]
+}
+
+func TestEngineStateTransitions(t *testing.T) {
+	t.Parallel()
+	// Default 1% budget: a single violating tick inside the 5s window
+	// burns at 20×, far past the warn threshold, so recovery must pass
+	// through warn before ok.
+	var logs bytes.Buffer
+	reg, h, eng := newTestEngine(t,
+		"wait_p50: p50(wait_seconds) < 500ms over 5s", &logs)
+
+	// Ticks with no traffic: the rule holds trivially (no data is not
+	// a violation) and says so.
+	eng.Tick(eAt(0))
+	eng.Tick(eAt(1))
+	rs := ruleAt(t, eng, eAt(1))
+	if rs.State != "ok" || !rs.NoData || rs.Value != nil {
+		t.Fatalf("no-traffic status = %+v, want ok/no_data", rs)
+	}
+
+	// Healthy traffic: p50 well under the threshold.
+	for i := 0; i < 20; i++ {
+		h.Observe(0.05)
+	}
+	eng.Tick(eAt(2))
+	rs = ruleAt(t, eng, eAt(2))
+	if rs.State != "ok" || rs.NoData || rs.Value == nil || *rs.Value >= 0.5 {
+		t.Fatalf("healthy status = %+v, want ok with value < 0.5", rs)
+	}
+
+	// Latency regression: the window median jumps past the objective.
+	for i := 0; i < 200; i++ {
+		h.Observe(5)
+	}
+	eng.Tick(eAt(3))
+	rs = ruleAt(t, eng, eAt(3))
+	if rs.State != "breach" || rs.Breaches != 1 {
+		t.Fatalf("regressed status = %+v, want breach with 1 breach", rs)
+	}
+	if !strings.Contains(logs.String(), "slo state change") ||
+		!strings.Contains(logs.String(), "to=breach") {
+		t.Fatalf("breach transition was not logged: %q", logs.String())
+	}
+
+	// Recovery: traffic is healthy again, but the violating tick is
+	// still inside the burn window, so the rule passes through warn.
+	for i := 0; i < 500; i++ {
+		h.Observe(0.05)
+	}
+	eng.Tick(eAt(4))
+	rs = ruleAt(t, eng, eAt(4))
+	if rs.State != "warn" {
+		t.Fatalf("recovering status = %+v, want warn (breach tick still in burn window)", rs)
+	}
+	if rs.BurnFast <= 0 {
+		t.Fatalf("recovering burn_fast = %v, want > 0", rs.BurnFast)
+	}
+
+	// Once the violating tick ages out of the fast window, ok returns.
+	for sec := 5; sec <= 12; sec++ {
+		h.Observe(0.05)
+		eng.Tick(eAt(sec))
+	}
+	rs = ruleAt(t, eng, eAt(12))
+	if rs.State != "ok" || rs.Breaches != 1 {
+		t.Fatalf("recovered status = %+v, want ok with breach count intact", rs)
+	}
+	if rs.LastChange == nil {
+		t.Fatal("recovered status has no last_change")
+	}
+
+	// The whole trajectory is exported on the registry: status gauge
+	// back at 0, breach counter at 1.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`reprod_slo_status{rule="wait_p50"} 0`,
+		`reprod_slo_breaches_total{rule="wait_p50"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestEngineWarnRequiresBudgetPressure checks the budget actually
+// gates warn: with a generous budget a single violating tick in the
+// window is within allowance, so recovery goes straight back to ok.
+func TestEngineWarnRequiresBudgetPressure(t *testing.T) {
+	t.Parallel()
+	// 5s window at 1 tick/s and a 100% budget means burn 1.0 exactly
+	// when every tick violates; one violation in five ticks is 0.2.
+	_, h, eng := newTestEngine(t,
+		"wait_p50: p50(wait_seconds) < 500ms over 5s budget 100%", nil)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	eng.Tick(eAt(0))
+	eng.Tick(eAt(1))
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	eng.Tick(eAt(2)) // breach
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.05)
+	}
+	eng.Tick(eAt(3))
+	eng.Tick(eAt(4))
+	rs := ruleAt(t, eng, eAt(4))
+	if rs.State != "ok" {
+		t.Fatalf("status = %+v, want ok (1 violating tick of 5 is under a 100%% budget)", rs)
+	}
+	if rs.Breaches != 1 {
+		t.Fatalf("breaches = %d, want 1", rs.Breaches)
+	}
+}
+
+// TestEngineConcurrentObserve hammers the histogram from concurrent
+// goroutines while the engine ticks and readers poll Status — the
+// -race acceptance run for the whole collect/evaluate path.
+func TestEngineConcurrentObserve(t *testing.T) {
+	t.Parallel()
+	_, h, eng := newTestEngine(t,
+		"wait_p99: p99(wait_seconds) < 500ms over 5s", nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(seed)
+				}
+			}
+		}(0.01 * float64(g+1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.Status(eAt(i))
+			}
+		}
+	}()
+
+	// The inline Observe guarantees every tick's window holds data even
+	// if the scheduler starves the background goroutines; the goroutines
+	// provide the concurrent-writer pressure the race detector checks.
+	for i := 0; i < 200; i++ {
+		h.Observe(0.02)
+		eng.Tick(eAt(i))
+	}
+	close(stop)
+	wg.Wait()
+
+	rs := ruleAt(t, eng, eAt(200))
+	if rs.State != "ok" || rs.NoData {
+		t.Fatalf("status after concurrent traffic = %+v, want ok with data", rs)
+	}
+}

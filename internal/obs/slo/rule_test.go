@@ -1,0 +1,102 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRuleAccepts(t *testing.T) {
+	t.Parallel()
+	t.Run("quantile-duration-threshold", func(t *testing.T) {
+		r, err := ParseRule("queue_wait_p99: p99(reprod_sched_queue_wait_seconds) < 250ms over 1m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name != "queue_wait_p99" || r.Kind != ExprQuantile || r.Q != 0.99 {
+			t.Fatalf("parsed %+v", r)
+		}
+		if !r.Less || r.Threshold != 0.25 || r.Window != time.Minute || r.Budget != DefaultBudget {
+			t.Fatalf("parsed %+v", r)
+		}
+		if r.Sel.Metric != "reprod_sched_queue_wait_seconds" || r.Sel.Labels != nil {
+			t.Fatalf("selector %+v", r.Sel)
+		}
+	})
+	t.Run("p999", func(t *testing.T) {
+		r, err := ParseRule("tail: p999(m) < 1 over 10s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Q != 0.999 {
+			t.Fatalf("Q = %v, want 0.999", r.Q)
+		}
+	})
+	t.Run("rate-with-budget", func(t *testing.T) {
+		r, err := ParseRule("shed: rate(reprod_sched_overload_rejections_total) < 1 over 1m budget 5%")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind != ExprRate || r.Budget != 0.05 {
+			t.Fatalf("parsed %+v", r)
+		}
+	})
+	t.Run("value-with-labels", func(t *testing.T) {
+		r, err := ParseRule(`depth: value(reprod_sched_queue_depth{shard="0",kind=x}) > 0 over 30s`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind != ExprValue || r.Less {
+			t.Fatalf("parsed %+v", r)
+		}
+		if r.Sel.Labels["shard"] != "0" || r.Sel.Labels["kind"] != "x" {
+			t.Fatalf("labels %+v", r.Sel.Labels)
+		}
+	})
+}
+
+func TestParseRuleRejects(t *testing.T) {
+	t.Parallel()
+	bad := []struct{ name, src string }{
+		{"missing-name", "p99(m) < 1 over 1m"},
+		{"empty-name", ": p99(m) < 1 over 1m"},
+		{"name-with-space", "a b: p99(m) < 1 over 1m"},
+		{"unknown-fn", "r: median(m) < 1 over 1m"},
+		{"quantile-not-below-1", "r: p100(m) < 1 over 1m"},
+		{"quantile-no-digits", "r: p(m) < 1 over 1m"},
+		{"no-metric", "r: rate() < 1 over 1m"},
+		{"not-a-call", "r: rate < 1 over 1m"},
+		{"bad-op", "r: rate(m) <= 1 over 1m"},
+		{"bad-threshold", "r: rate(m) < fast over 1m"},
+		{"missing-over", "r: rate(m) < 1 within 1m"},
+		{"bad-window", "r: rate(m) < 1 over never"},
+		{"negative-window", "r: rate(m) < 1 over -5s"},
+		{"unterminated-labels", "r: value(m{a=b) < 1 over 1m"},
+		{"bad-label-pair", "r: value(m{nope}) < 1 over 1m"},
+		{"bad-budget-word", "r: rate(m) < 1 over 1m spend 5%"},
+		{"budget-over-100", "r: rate(m) < 1 over 1m budget 101%"},
+		{"budget-zero", "r: rate(m) < 1 over 1m budget 0%"},
+		{"too-few-fields", "r: rate(m) < 1"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseRule(tc.src); err == nil {
+				t.Fatalf("ParseRule(%q) accepted", tc.src)
+			}
+		})
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	t.Parallel()
+	r, err := ParseRule("queue_wait_p99: p99(m) < 250ms over 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"queue_wait_p99", "p99(m)", "<", "0.25", "1m"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

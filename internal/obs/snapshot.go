@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"slices"
+	"strings"
+	"time"
+)
+
+// This file is the registry's structured read API: where expose.go
+// renders text for Prometheus scrapers, Collect captures the same
+// state as values — counter/gauge readings and raw histogram bucket
+// vectors — for in-process consumers (the tsdb snapshot ring, the SLO
+// engine, /statsz).
+//
+// Collect is built to be called periodically into a recycled
+// destination: every slice grows in place and is truncated-not-freed
+// between captures, so once the registry's family and series sets
+// stabilize, a capture into a reused Snapshot performs zero
+// allocations (pinned by BenchmarkRegistrySnapshot). Label values,
+// series keys, and bucket bounds are shared with the registry's
+// immutable internals, never copied.
+
+// Point is one series' sample inside a Snapshot.
+type Point struct {
+	// Key identifies the series within its family across snapshots
+	// (the label values joined on 0x1f); match deltas on it, not on
+	// slice identity.
+	Key string
+	// LabelValues aliases the registry's immutable per-child slice.
+	LabelValues []string
+	// Value carries counter and gauge readings (function-backed
+	// children are invoked at capture time, like a scrape).
+	Value float64
+	// Buckets holds a histogram's per-bucket counts — raw, not
+	// cumulative — with the overflow (+Inf) bucket last, so
+	// len(Buckets) == len(FamilySnap.Upper)+1. Nil for scalar kinds.
+	Buckets []uint64
+	// Sum and Count mirror the histogram's _sum/_count. Count is
+	// derived from the same bucket snapshot, so it always equals the
+	// sum of Buckets exactly; Sum is read last and may run a few
+	// observations ahead under concurrency (Prometheus semantics).
+	Sum   float64
+	Count uint64
+}
+
+// FamilySnap is one metric family's sample set.
+type FamilySnap struct {
+	Name       string
+	Kind       Kind
+	LabelNames []string
+	// Upper aliases the family's finite histogram bucket bounds
+	// (ascending; the +Inf bucket is implicit). Nil for scalar kinds.
+	Upper  []float64
+	Points []Point
+}
+
+// Snapshot is one whole-registry capture. Families are ordered by
+// name; point order within a family is unspecified (map iteration
+// order) — consumers look series up by name and Key. A Snapshot
+// returned by Collect is owned by the caller and must not be read
+// concurrently with a later Collect into it.
+type Snapshot struct {
+	At       time.Time
+	Families []FamilySnap
+
+	// fams is the reusable family-pointer scratch so repeated captures
+	// do not allocate the iteration buffer.
+	fams []*family
+}
+
+// Family returns the named family's snapshot, or nil.
+func (s *Snapshot) Family(name string) *FamilySnap {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Point returns the series with the given key, or nil.
+func (f *FamilySnap) Point(key string) *Point {
+	for i := range f.Points {
+		if f.Points[i].Key == key {
+			return &f.Points[i]
+		}
+	}
+	return nil
+}
+
+// growFamily returns the next FamilySnap slot, reusing spare capacity
+// (and the retained Points backing array inside it) when available.
+func growFamily(fams []FamilySnap) ([]FamilySnap, *FamilySnap) {
+	if len(fams) < cap(fams) {
+		fams = fams[:len(fams)+1]
+	} else {
+		fams = append(fams, FamilySnap{})
+	}
+	return fams, &fams[len(fams)-1]
+}
+
+// growPoint returns the next Point slot, reusing spare capacity (and
+// the retained Buckets backing array inside it) when available.
+func growPoint(pts []Point) ([]Point, *Point) {
+	if len(pts) < cap(pts) {
+		pts = pts[:len(pts)+1]
+	} else {
+		pts = append(pts, Point{})
+	}
+	return pts, &pts[len(pts)-1]
+}
+
+// Collect captures every registered family into dst (allocating one
+// when nil) and returns it, stamped with at. Recycle the destination
+// across periodic captures: steady state — same families, same
+// series — reuses every backing slice and allocates nothing.
+func (r *Registry) Collect(dst *Snapshot, at time.Time) *Snapshot {
+	if dst == nil {
+		dst = &Snapshot{}
+	}
+	dst.At = at
+
+	// Copy the family pointers out under the registry lock (the same
+	// discipline as WritePrometheus), then sample each family under
+	// its own lock.
+	dst.fams = dst.fams[:0]
+	r.mu.Lock()
+	for _, f := range r.families {
+		dst.fams = append(dst.fams, f)
+	}
+	r.mu.Unlock()
+	// Sort by name so slot i always samples the same family while the
+	// registration set is stable — map iteration order would shuffle
+	// families across slots and defeat the per-slot Points/Buckets
+	// reuse below (a histogram landing on a slot that last held a
+	// scalar reallocates its bucket vectors every capture).
+	slices.SortFunc(dst.fams, func(a, b *family) int {
+		return strings.Compare(a.name, b.name)
+	})
+
+	fams := dst.Families[:0]
+	for _, f := range dst.fams {
+		var fs *FamilySnap
+		fams, fs = growFamily(fams)
+		fs.Name = f.name
+		fs.Kind = f.kind
+		fs.LabelNames = f.labelNames
+		fs.Upper = f.buckets
+		pts := fs.Points[:0]
+		f.mu.Lock()
+		for _, c := range f.children {
+			var p *Point
+			pts, p = growPoint(pts)
+			p.Key = c.key
+			p.LabelValues = c.labelValues
+			if f.kind == KindHistogram {
+				p.Value = 0
+				p.Buckets, p.Count = c.hist.snapshot(p.Buckets)
+				p.Sum = c.hist.Sum()
+				continue
+			}
+			p.Buckets = p.Buckets[:0]
+			p.Sum, p.Count = 0, 0
+			p.Value = childValue(c)
+		}
+		f.mu.Unlock()
+		fs.Points = pts
+	}
+	dst.Families = fams
+	return dst
+}

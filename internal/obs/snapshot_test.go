@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCollectCapturesRegistry checks the structured read API against a
+// registry holding every kind: values, label schemas, series keys, and
+// raw histogram bucket vectors.
+func TestCollectCapturesRegistry(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "")
+	c.Add(3)
+	g := reg.Gauge("depth", "")
+	g.Set(2.5)
+	reg.GaugeFunc("fn_gauge", "", func() float64 { return 7 })
+	vec := reg.CounterVec("shard_total", "", "shard")
+	vec.With("0").Add(1)
+	vec.With("1").Add(4)
+	h := reg.Histogram("wait_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow
+
+	at := time.Unix(1000, 0)
+	snap := reg.Collect(nil, at)
+	if !snap.At.Equal(at) {
+		t.Fatalf("At = %v, want %v", snap.At, at)
+	}
+
+	jf := snap.Family("jobs_total")
+	if jf == nil || len(jf.Points) != 1 || jf.Points[0].Value != 3 {
+		t.Fatalf("jobs_total snapshot wrong: %+v", jf)
+	}
+	if df := snap.Family("depth"); df == nil || df.Points[0].Value != 2.5 {
+		t.Fatalf("depth snapshot wrong: %+v", df)
+	}
+	if ff := snap.Family("fn_gauge"); ff == nil || ff.Points[0].Value != 7 {
+		t.Fatalf("fn_gauge snapshot wrong (function-backed children must be invoked): %+v", ff)
+	}
+
+	sf := snap.Family("shard_total")
+	if sf == nil || len(sf.Points) != 2 {
+		t.Fatalf("shard_total snapshot wrong: %+v", sf)
+	}
+	if p := sf.Point("1"); p == nil || p.Value != 4 || p.LabelValues[0] != "1" {
+		t.Fatalf("shard_total{shard=1} point wrong: %+v", p)
+	}
+
+	hf := snap.Family("wait_seconds")
+	if hf == nil || hf.Kind != KindHistogram {
+		t.Fatalf("wait_seconds family wrong: %+v", hf)
+	}
+	if len(hf.Upper) != 2 || hf.Upper[0] != 0.1 || hf.Upper[1] != 1 {
+		t.Fatalf("Upper = %v", hf.Upper)
+	}
+	p := &hf.Points[0]
+	want := []uint64{1, 1, 1} // raw per-bucket, overflow last
+	if len(p.Buckets) != len(want) {
+		t.Fatalf("Buckets = %v, want %v", p.Buckets, want)
+	}
+	for i := range want {
+		if p.Buckets[i] != want[i] {
+			t.Fatalf("Buckets = %v, want %v", p.Buckets, want)
+		}
+	}
+	if p.Count != 3 || math.Abs(p.Sum-5.55) > 1e-9 {
+		t.Fatalf("Count/Sum = %d/%v, want 3/5.55", p.Count, p.Sum)
+	}
+}
+
+// TestCollectReusesDestination pins the recycling contract: a second
+// Collect into the same Snapshot reuses every backing slice once the
+// series set is stable, and carries the updated values.
+func TestCollectReusesDestination(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	c := reg.Counter("n_total", "")
+	h := reg.Histogram("lat", "", []float64{1, 2})
+	c.Add(1)
+	h.Observe(0.5)
+
+	snap := reg.Collect(nil, time.Unix(1, 0))
+	famBefore := &snap.Families[0]
+	var bucketsBefore []uint64
+	if hf := snap.Family("lat"); hf != nil {
+		bucketsBefore = hf.Points[0].Buckets
+	}
+
+	c.Add(9)
+	h.Observe(1.5)
+	got := reg.Collect(snap, time.Unix(2, 0))
+	if got != snap {
+		t.Fatal("Collect returned a different Snapshot than the recycled dst")
+	}
+	if &snap.Families[0] != famBefore {
+		t.Error("Families backing array was reallocated on a stable registry")
+	}
+	hf := snap.Family("lat")
+	if hf == nil {
+		t.Fatal("lat family missing after recycle")
+	}
+	if &hf.Points[0].Buckets[0] != &bucketsBefore[0] {
+		t.Error("histogram Buckets backing array was reallocated on a stable registry")
+	}
+	if nf := snap.Family("n_total"); nf.Points[0].Value != 10 {
+		t.Errorf("recycled snapshot holds stale counter value %v", nf.Points[0].Value)
+	}
+	if hf.Points[0].Count != 2 || hf.Points[0].Buckets[1] != 1 {
+		t.Errorf("recycled snapshot holds stale histogram: %+v", hf.Points[0])
+	}
+
+	// A family registered after the first capture still shows up.
+	reg.Gauge("late", "").Set(1)
+	snap = reg.Collect(snap, time.Unix(3, 0))
+	if snap.Family("late") == nil {
+		t.Error("family registered between captures missing from recycled snapshot")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // stepCostAlpha is the EWMA weight for new step-cost samples: heavy
@@ -32,21 +33,39 @@ var (
 // registered lazily on its first sample, so /metrics only shows
 // combinations that have actually run.
 type StepCostProfiler struct {
-	vec   *GaugeVec
-	cells [len(stepCostEngines) * len(stepCostVersions)]stepCostCell
+	vec    *GaugeVec
+	sVec   *CounterVec
+	ageVec *GaugeVec
+	cells  [len(stepCostEngines) * len(stepCostVersions)]stepCostCell
 }
 
 type stepCostCell struct {
 	bits       atomic.Uint64 // EWMA ns/step as float64 bits; 0 = no samples
+	samples    atomic.Uint64 // samples folded into the EWMA
+	lastNano   atomic.Int64  // wall clock of the latest sample (UnixNano)
 	registered atomic.Bool
 }
 
-// NewStepCostProfiler registers the reprod_engine_step_cost_ns family
-// on reg and returns the profiler. Children appear as engines run.
+// NewStepCostProfiler registers the reprod_engine_step_cost_ns,
+// reprod_engine_step_cost_samples_total, and
+// reprod_engine_step_cost_last_sample_age_seconds families on reg and
+// returns the profiler. Children appear as engines run.
+//
+// The samples counter and age gauge exist because an EWMA alone lies
+// by omission: a gauge frozen at 1200ns/step looks identical whether
+// the estimate is live or the last sample landed an hour ago. A
+// consumer (the calibrated-admission loop, an operator) must check
+// freshness before trusting the number.
 func NewStepCostProfiler(reg *Registry) *StepCostProfiler {
 	return &StepCostProfiler{
 		vec: reg.GaugeVec("reprod_engine_step_cost_ns",
 			"EWMA of measured engine cost in nanoseconds per step per lane, sampled from real runs.",
+			"engine", "draw_order"),
+		sVec: reg.CounterVec("reprod_engine_step_cost_samples_total",
+			"Timed run segments folded into the step-cost EWMA.",
+			"engine", "draw_order"),
+		ageVec: reg.GaugeVec("reprod_engine_step_cost_last_sample_age_seconds",
+			"Seconds since the step-cost EWMA last absorbed a sample; staleness of the estimate.",
 			"engine", "draw_order"),
 	}
 }
@@ -100,9 +119,21 @@ func (p *StepCostProfiler) Observe(engine, drawOrder string, steps, lanes int, e
 			break
 		}
 	}
+	c.samples.Add(1)
+	c.lastNano.Store(time.Now().UnixNano())
 	if !c.registered.Load() && c.registered.CompareAndSwap(false, true) {
 		p.vec.WithFunc(func() float64 {
 			return math.Float64frombits(c.bits.Load())
+		}, engine, drawOrder)
+		p.sVec.WithFunc(func() float64 {
+			return float64(c.samples.Load())
+		}, engine, drawOrder)
+		p.ageVec.WithFunc(func() float64 {
+			last := c.lastNano.Load()
+			if last == 0 {
+				return math.Inf(1)
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
 		}, engine, drawOrder)
 	}
 }
@@ -119,4 +150,36 @@ func (p *StepCostProfiler) Estimate(engine, drawOrder string) float64 {
 		return 0
 	}
 	return math.Float64frombits(p.cells[idx].bits.Load())
+}
+
+// Samples returns how many timed segments the combination's EWMA has
+// absorbed (0 for unknown names or a nil profiler).
+func (p *StepCostProfiler) Samples(engine, drawOrder string) uint64 {
+	if p == nil {
+		return 0
+	}
+	idx := cellIndex(engine, drawOrder)
+	if idx < 0 {
+		return 0
+	}
+	return p.cells[idx].samples.Load()
+}
+
+// LastSampleAge returns how long ago the combination last absorbed a
+// sample, and false when it never has (or the names are unknown) —
+// the freshness gate a consumer should apply before trusting
+// Estimate.
+func (p *StepCostProfiler) LastSampleAge(engine, drawOrder string) (time.Duration, bool) {
+	if p == nil {
+		return 0, false
+	}
+	idx := cellIndex(engine, drawOrder)
+	if idx < 0 {
+		return 0, false
+	}
+	last := p.cells[idx].lastNano.Load()
+	if last == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, last)), true
 }

@@ -1,0 +1,60 @@
+package tsdb
+
+import "math"
+
+// HistogramQuantile computes the q-quantile (0 < q < 1) of a
+// fixed-bucket histogram from per-bucket counts: upper holds the
+// ascending finite bucket bounds and counts the raw (non-cumulative)
+// per-bucket tallies with the overflow (+Inf) bucket last, so
+// len(counts) == len(upper)+1 — exactly the shape obs.Point.Buckets
+// carries.
+//
+// The estimate is the Prometheus histogram_quantile rule: find the
+// bucket the q-rank falls into by cumulative count and interpolate
+// linearly inside it, treating observations as uniformly distributed
+// between the bucket's bounds. Consequences worth pinning (and pinned
+// in quantile_test.go):
+//
+//   - A rank landing exactly on a bucket's cumulative count returns
+//     that bucket's upper bound exactly — no interpolation error at
+//     bucket boundaries.
+//   - The first bucket interpolates from a lower bound of zero (the
+//     serving stack's histograms measure non-negative quantities).
+//   - A rank in the overflow bucket returns the highest finite bound:
+//     the histogram cannot resolve beyond its schema, and clamping
+//     beats inventing mass above it.
+//
+// Returns NaN when the histogram holds no observations, when the
+// shapes disagree, or when q is outside (0, 1).
+func HistogramQuantile(q float64, upper []float64, counts []uint64) float64 {
+	if q <= 0 || q >= 1 || len(counts) != len(upper)+1 || len(upper) == 0 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts[:len(upper)] {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = upper[i-1]
+		}
+		if c == 0 {
+			// Rank landed on an empty bucket's boundary (cum == rank ==
+			// prev); the value is exactly the previous bound.
+			return lower
+		}
+		return lower + (upper[i]-lower)*(rank-prev)/float64(c)
+	}
+	return upper[len(upper)-1]
+}

@@ -1,0 +1,80 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileKnownDistributions pins the interpolation rule
+// against hand-computable bucket contents: exact values at bucket
+// boundaries, linear interpolation inside a bucket, first-bucket
+// interpolation from zero, and overflow clamping.
+func TestHistogramQuantileKnownDistributions(t *testing.T) {
+	t.Parallel()
+	upper := []float64{1, 2, 4}
+	cases := []struct {
+		name   string
+		q      float64
+		counts []uint64 // len(upper)+1, overflow last
+		want   float64
+	}{
+		// 20 observations: 10 in (0,1], 10 in (1,2]. The median rank
+		// (10) lands exactly on the first bucket's cumulative count, so
+		// the estimate is exactly that bucket's upper bound.
+		{"exact-bucket-boundary", 0.5, []uint64{10, 10, 0, 0}, 1.0},
+		// Rank 15 is halfway through the second bucket's 10
+		// observations: 1 + (2-1)*5/10.
+		{"interpolated-mid-bucket", 0.75, []uint64{10, 10, 0, 0}, 1.5},
+		// Rank 2.5 of 10 observations all in the first bucket
+		// interpolates from a lower bound of zero: 0 + 1*2.5/10.
+		{"first-bucket-from-zero", 0.25, []uint64{10, 0, 0, 0}, 0.25},
+		// Rank 18 of 20 falls past the last finite cumulative count
+		// (10): the overflow bucket clamps to the highest finite bound.
+		{"overflow-clamps", 0.9, []uint64{10, 0, 0, 10}, 4.0},
+		// All mass in overflow: still the highest finite bound.
+		{"all-overflow", 0.5, []uint64{0, 0, 0, 5}, 4.0},
+		// Uniform 1 observation per finite bucket; rank 2 of 3 lands
+		// exactly on the second bucket's cumulative count → bound 2.
+		{"uniform-boundary", 2.0 / 3.0, []uint64{1, 1, 1, 0}, 2.0},
+		// Skewed distribution: 100 observations, 90 in the first
+		// bucket, 9 in (1,2]. Rank 95 is the 5th of those 9:
+		// 1 + (2-1)*(95-90)/9.
+		{"skewed-interpolated", 0.95, []uint64{90, 9, 1, 0}, 1 + 5.0/9.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := HistogramQuantile(tc.q, upper, tc.counts)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("HistogramQuantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileDegenerate pins the NaN contract: empty
+// histograms, shape mismatches, and out-of-range q all answer NaN
+// rather than inventing a number.
+func TestHistogramQuantileDegenerate(t *testing.T) {
+	t.Parallel()
+	upper := []float64{1, 2}
+	cases := []struct {
+		name   string
+		q      float64
+		upper  []float64
+		counts []uint64
+	}{
+		{"empty-histogram", 0.5, upper, []uint64{0, 0, 0}},
+		{"shape-mismatch", 0.5, upper, []uint64{1, 2}},
+		{"no-buckets", 0.5, nil, []uint64{5}},
+		{"q-zero", 0, upper, []uint64{1, 1, 0}},
+		{"q-one", 1, upper, []uint64{1, 1, 0}},
+		{"q-negative", -0.5, upper, []uint64{1, 1, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HistogramQuantile(tc.q, tc.upper, tc.counts); !math.IsNaN(got) {
+				t.Fatalf("HistogramQuantile = %v, want NaN", got)
+			}
+		})
+	}
+}

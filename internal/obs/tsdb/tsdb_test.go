@@ -1,0 +1,175 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// collectAt drives the ring with a deterministic clock: one capture
+// per second starting at t0.
+var t0 = time.Unix(10_000, 0)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func TestRingRotationAndLen(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	g := reg.Gauge("depth", "")
+	ring := NewRing(reg, 3)
+	if ring.Len() != 0 {
+		t.Fatalf("Len = %d before any Collect", ring.Len())
+	}
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		ring.Collect(at(i))
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", ring.Len())
+	}
+	// The series view shows only the retained (newest 3) captures, in
+	// chronological order.
+	s := ring.SeriesGauge(Selector{Metric: "depth"})
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if !s[i].At.Equal(at(i+2)) || s[i].V != want {
+			t.Fatalf("series[%d] = %+v, want %v at %v", i, s[i], want, at(i+2))
+		}
+	}
+}
+
+func TestRingGaugeSelectorSum(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("depth", "", "shard")
+	vec.With("0").Set(3)
+	vec.With("1").Set(5)
+	ring := NewRing(reg, 4)
+	ring.Collect(at(0))
+
+	if v, ok := ring.Gauge(Selector{Metric: "depth"}); !ok || v != 8 {
+		t.Fatalf("unlabeled selector = %v/%v, want sum 8", v, ok)
+	}
+	sel := Selector{Metric: "depth", Labels: map[string]string{"shard": "1"}}
+	if v, ok := ring.Gauge(sel); !ok || v != 5 {
+		t.Fatalf("shard=1 selector = %v/%v, want 5", v, ok)
+	}
+	if _, ok := ring.Gauge(Selector{Metric: "depth", Labels: map[string]string{"shard": "9"}}); ok {
+		t.Fatal("selector matching no series reported ok")
+	}
+	if _, ok := ring.Gauge(Selector{Metric: "absent"}); ok {
+		t.Fatal("selector naming no family reported ok")
+	}
+}
+
+func TestRingRateOverWindow(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := reg.Counter("jobs_total", "")
+	ring := NewRing(reg, 8)
+
+	if _, ok := ring.Rate(Selector{Metric: "jobs_total"}, time.Minute); ok {
+		t.Fatal("rate with <2 snapshots reported ok")
+	}
+	ring.Collect(at(0))
+	c.Add(10)
+	ring.Collect(at(1))
+	c.Add(30)
+	ring.Collect(at(3))
+
+	// Whole history: 40 increments over 3s.
+	if v, ok := ring.Rate(Selector{Metric: "jobs_total"}, time.Minute); !ok || math.Abs(v-40.0/3) > 1e-12 {
+		t.Fatalf("rate over 1m = %v/%v, want %v", v, ok, 40.0/3)
+	}
+	// Tight window: only the last delta (30 over 2s) is inside.
+	if v, ok := ring.Rate(Selector{Metric: "jobs_total"}, 2*time.Second); !ok || v != 15 {
+		t.Fatalf("rate over 2s = %v/%v, want 15", v, ok)
+	}
+
+	// A series that first appears mid-window counts from zero.
+	vec := reg.CounterVec("shed_total", "", "kind")
+	vec.With("overload").Add(6)
+	ring.Collect(at(4))
+	if v, ok := ring.Rate(Selector{Metric: "shed_total"}, time.Minute); !ok || math.Abs(v-6.0/4) > 1e-12 {
+		t.Fatalf("new-series rate = %v/%v, want 1.5", v, ok)
+	}
+}
+
+func TestRingQuantileOverWindow(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("wait", "", []float64{1, 2, 4})
+	ring := NewRing(reg, 8)
+	// Ten observations in (0,1] before the window of interest.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	ring.Collect(at(0))
+	// Inside the window: 10 in (0,1] and 10 in (1,2] — same shape as
+	// the quantile unit tests, so the expected values carry over.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	ring.Collect(at(1))
+
+	sel := Selector{Metric: "wait"}
+	if v, ok := ring.Quantile(sel, 0.5, time.Minute); !ok || v != 1.0 {
+		t.Fatalf("p50 = %v/%v, want exactly 1.0 (bucket boundary)", v, ok)
+	}
+	if v, ok := ring.Quantile(sel, 0.75, time.Minute); !ok || math.Abs(v-1.5) > 1e-12 {
+		t.Fatalf("p75 = %v/%v, want 1.5", v, ok)
+	}
+
+	// A window with zero new observations answers NaN with ok=true
+	// (the family exists; there is just nothing to rank).
+	ring.Collect(at(2))
+	if v, ok := ring.Quantile(sel, 0.5, time.Second); !ok || !math.IsNaN(v) {
+		t.Fatalf("empty-window quantile = %v/%v, want NaN/true", v, ok)
+	}
+	// A non-histogram metric is not a quantile target.
+	reg.Counter("plain_total", "").Add(1)
+	ring.Collect(at(3))
+	if _, ok := ring.Quantile(Selector{Metric: "plain_total"}, 0.5, time.Minute); ok {
+		t.Fatal("quantile over a counter reported ok")
+	}
+}
+
+func TestRingSeriesDerivations(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := reg.Counter("jobs_total", "")
+	h := reg.Histogram("wait", "", []float64{1, 2})
+	ring := NewRing(reg, 8)
+
+	ring.Collect(at(0))
+	c.Add(4)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	ring.Collect(at(2))
+	c.Add(10)
+	ring.Collect(at(3))
+
+	rates := ring.SeriesRate(Selector{Metric: "jobs_total"})
+	if len(rates) != 2 {
+		t.Fatalf("rate series length %d, want 2 (pairs of consecutive captures)", len(rates))
+	}
+	if rates[0].V != 2 || rates[1].V != 10 {
+		t.Fatalf("rate series = %v, want [2, 10]", rates)
+	}
+
+	qs := ring.SeriesQuantile(Selector{Metric: "wait"}, 0.5)
+	if len(qs) != 2 {
+		t.Fatalf("quantile series length %d, want 2", len(qs))
+	}
+	if math.Abs(qs[0].V-0.5) > 1e-12 {
+		t.Fatalf("quantile series[0] = %v, want 0.5", qs[0].V)
+	}
+	if !math.IsNaN(qs[1].V) {
+		t.Fatalf("quantile series[1] = %v, want NaN (no observations in that interval)", qs[1].V)
+	}
+}

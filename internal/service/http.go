@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
 )
 
@@ -33,6 +34,7 @@ const maxBodyBytes = 1 << 20
 //	GET    /readyz             readiness (503 once draining starts)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /statsz             queue, cache, and traffic counters (JSON)
+//	GET    /v1/slo             SLO rule states and windowed values (JSON)
 //	GET    /debug/traces       recent span traces (?min_ms= filters)
 //
 // Every request is assigned a request ID (honoring a well-formed
@@ -52,6 +54,7 @@ type Server struct {
 	metrics *httpMetrics
 	traces  *span.Recorder
 	runtime *obs.RuntimeCollector
+	slo     *slo.Engine
 
 	// draining flips once StartDrain is called; /readyz answers 503
 	// from then on while /healthz keeps reporting liveness.
@@ -71,6 +74,13 @@ func WithObs(reg *obs.Registry) ServerOption {
 // events. The default discards.
 func WithLogger(l *slog.Logger) ServerOption {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithSLO attaches an SLO engine: GET /v1/slo serves its rule states
+// and /statsz gains an "slo" section. Without this option /v1/slo
+// answers 404 and /statsz omits the section.
+func WithSLO(e *slo.Engine) ServerOption {
+	return func(s *Server) { s.slo = e }
 }
 
 // WithTraces enables span tracing: the work-submitting routes open a
@@ -119,6 +129,7 @@ func NewServer(sched *Scheduler, cache *Cache, opts ...ServerOption) *Server {
 	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.reg.Handler().ServeHTTP)
 	s.handle("GET /statsz", s.handleStatsz)
+	s.handle("GET /v1/slo", s.handleSLO)
 	s.handle("GET /debug/traces", s.handleDebugTraces)
 	return s
 }
@@ -810,19 +821,44 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // statszResponse aggregates the operational counters. Runtime reads
 // the same collector snapshot that backs the reprod_go_* gauges on
-// /metrics, so the two endpoints cannot drift.
+// /metrics, so the two endpoints cannot drift; SLO (present with
+// WithSLO) is the same payload /v1/slo serves.
 type statszResponse struct {
+	// StartedAt and Now timestamp the process start and this snapshot,
+	// so a captured /statsz is self-describing about when it was taken.
+	StartedAt     time.Time        `json:"started_at"`
+	Now           time.Time        `json:"now"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Scheduler     SchedulerStats   `json:"scheduler"`
 	Cache         CacheStats       `json:"cache"`
 	Runtime       obs.RuntimeStats `json:"runtime"`
+	SLO           *slo.Status      `json:"slo,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, r, http.StatusOK, statszResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
+	now := time.Now()
+	resp := statszResponse{
+		StartedAt:     s.start.UTC(),
+		Now:           now.UTC(),
+		UptimeSeconds: now.Sub(s.start).Seconds(),
 		Scheduler:     s.sched.Stats(),
 		Cache:         s.cache.Stats(),
 		Runtime:       s.runtime.Stats(),
-	})
+	}
+	if s.slo != nil {
+		st := s.slo.Status(now)
+		resp.SLO = &st
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
+}
+
+// handleSLO serves the SLO engine's rule states — the machine-readable
+// face of /debug/dash. 404 until the server is wired WithSLO.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("service: no SLO engine configured; start the server with SLO rules"))
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, s.slo.Status(time.Now()))
 }

@@ -51,7 +51,13 @@ import (
 //	reprod_store_disk_bytes                       gauge     bytes across all segment files
 //	reprod_store_disk_segments                    gauge     segment file count
 //	reprod_uptime_seconds                         gauge     seconds since the server was wired
+//	reprod_slo_status{rule}                       gauge     SLO rule state: 0 ok | 1 warn | 2 breach
+//	reprod_slo_breaches_total{rule}               counter   transitions into breach
 //	reprod_engine_step_cost_ns{engine,draw_order} gauge     EWMA ns per step per lane, from real runs
+//	reprod_engine_step_cost_samples_total{engine,draw_order}
+//	                                              counter   timed segments folded into the EWMA
+//	reprod_engine_step_cost_last_sample_age_seconds{engine,draw_order}
+//	                                              gauge     seconds since the EWMA last took a sample
 //	reprod_go_goroutines                          gauge     current goroutine count
 //	reprod_go_heap_alloc_bytes                    gauge     bytes of live heap objects
 //	reprod_go_heap_sys_bytes                      gauge     heap bytes obtained from the OS
