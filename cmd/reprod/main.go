@@ -43,6 +43,7 @@ import (
 	"repro/internal/obs/span"
 	"repro/internal/obs/tsdb"
 	"repro/internal/service"
+	"repro/internal/service/loadctl"
 	"repro/internal/store"
 )
 
@@ -101,7 +102,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		traceSlow  = fs.Duration("trace-slow", time.Second, "log any request trace at least this long (0 disables)")
 		scrapeInt  = fs.Duration("obs-scrape-interval", time.Second, "metrics history capture cadence (SLO evaluation tick)")
 		obsHistory = fs.Int("obs-history", 300, "registry snapshots retained for SLO windows and /debug/dash")
-		version    = fs.Bool("version", false, "print the build version and exit")
+		maxCost    = fs.Duration("max-cost", 4*time.Minute, "per-shard predicted wall-clock admission budget once the step-cost profiler is warm (0 disables cost admission)")
+		staleCost  = fs.Duration("stale-cost-after", 5*time.Minute, "profiler sample age past which cost admission reverts to the static work bound")
+		brownout   = fs.String("brownout-rule",
+			"brownout: p99(reprod_sched_queue_wait_seconds) < 250ms over 30s",
+			`SLO-style rule driving adaptive load shedding (empty disables the brownout controller)`)
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	var sloRules ruleFlags
 	fs.Var(&sloRules, "slo-rule",
@@ -119,19 +125,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	}
 	logger := slog.New(slog.NewTextHandler(logw, &slog.HandlerOptions{Level: level}))
 
-	sched, err := service.NewScheduler(service.SchedulerConfig{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		RetainJobs:      *retain,
-		JobTimeout:      *jobTime,
-		SweepWorkers:    *sweepW,
-		DisableCoalesce: !*coalesce,
-		Logger:          logger,
-	})
-	if err != nil {
-		return err
-	}
-	obs.RegisterBuildInfo(sched.Registry(), obs.BuildVersion())
+	// One registry backs the whole stack. It exists before the
+	// scheduler because the brownout controller — which the scheduler's
+	// admission path consults — needs the snapshot ring and SLO engine
+	// wired over the same registry first.
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, obs.BuildVersion())
 	// Span tracing: the recorder retains the last -trace-ring completed
 	// request traces for /debug/traces and logs any trace slower than
 	// -trace-slow through the daemon logger.
@@ -140,11 +139,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		slowOpts = append(slowOpts, span.WithSlowLog(logger, *traceSlow))
 	}
 	traces := span.NewRecorder(*traceRing, slowOpts...)
-	// SLO engine: a snapshot ring over the scheduler's registry plus
-	// the (default or -slo-rule) rule set, ticking every
-	// -obs-scrape-interval for the daemon's lifetime. /v1/slo and
-	// /statsz read it on the serving listener; /debug/dash renders it
-	// on the debug listener.
+	// SLO engine: a snapshot ring over the registry plus the (default
+	// or -slo-rule) rule set, ticking every -obs-scrape-interval for
+	// the daemon's lifetime. /v1/slo and /statsz read it on the serving
+	// listener; /debug/dash renders it on the debug listener.
 	if *scrapeInt <= 0 {
 		return fmt.Errorf("bad -obs-scrape-interval %v: must be positive", *scrapeInt)
 	}
@@ -160,15 +158,69 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		}
 		rules = append(rules, rule)
 	}
-	ring := tsdb.NewRing(sched.Registry(), *obsHistory)
+	ring := tsdb.NewRing(reg, *obsHistory)
 	engine := slo.New(slo.Config{
 		Ring:     ring,
-		Registry: sched.Registry(),
+		Registry: reg,
 		Rules:    rules,
 		Interval: *scrapeInt,
 		Logger:   logger,
 	})
-	go engine.Run(ctx)
+	// Brownout controller: adaptive load shedding driven by the
+	// -brownout-rule pressure signal plus the SLO engine's burn states.
+	// The scheduler consults its level on every admission.
+	var ctl *loadctl.Controller
+	if *brownout != "" {
+		rule, err := slo.ParseRule(*brownout)
+		if err != nil {
+			return fmt.Errorf("bad -brownout-rule: %w", err)
+		}
+		ctl = loadctl.New(loadctl.Config{
+			Ring:     ring,
+			Registry: reg,
+			Rule:     rule,
+			Engine:   engine,
+			Logger:   logger,
+		})
+	}
+
+	schedCfg := service.SchedulerConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RetainJobs:      *retain,
+		JobTimeout:      *jobTime,
+		SweepWorkers:    *sweepW,
+		DisableCoalesce: !*coalesce,
+		MaxCost:         *maxCost,
+		StaleCostAfter:  *staleCost,
+		Metrics:         reg,
+		Logger:          logger,
+	}
+	if ctl != nil {
+		schedCfg.LoadControl = ctl
+	}
+	sched, err := service.NewScheduler(schedCfg)
+	if err != nil {
+		return err
+	}
+	// One collection loop drives both control planes: the SLO engine's
+	// Tick snapshots the registry into the ring and evaluates the
+	// rules, then the brownout controller reads the fresh window.
+	go func() {
+		ticker := time.NewTicker(*scrapeInt)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-ticker.C:
+				engine.Tick(now)
+				if ctl != nil {
+					ctl.Tick(now)
+				}
+			}
+		}
+	}()
 	// Result storage: in-proc LRU alone, or — with -store-dir — the
 	// LRU fronting a crash-safe disk segment log, so the cache
 	// warm-starts across restarts. The cache owns the backend and
@@ -209,9 +261,14 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	if err != nil {
 		return err
 	}
-	app := service.NewServer(sched, resultCache,
+	serverOpts := []service.ServerOption{
 		service.WithLogger(logger), service.WithTraces(traces),
-		service.WithSLO(engine))
+		service.WithSLO(engine), service.WithHistory(ring),
+	}
+	if ctl != nil {
+		serverOpts = append(serverOpts, service.WithLoadControl(ctl))
+	}
+	app := service.NewServer(sched, resultCache, serverOpts...)
 	srv := &http.Server{
 		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -246,6 +303,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 				Sel: tsdb.Selector{Metric: "reprod_sched_queue_wait_seconds"}},
 			{Title: "queue depth", Kind: slo.ExprValue,
 				Sel: tsdb.Selector{Metric: "reprod_sched_queue_depth"}},
+			{Title: "brownout", Kind: slo.ExprValue,
+				Sel: tsdb.Selector{Metric: "reprod_brownout_level"}},
 			{Title: "goroutines", Kind: slo.ExprValue,
 				Sel: tsdb.Selector{Metric: "reprod_go_goroutines"}},
 			{Title: "heap", Unit: "B", Kind: slo.ExprValue,

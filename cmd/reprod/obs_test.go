@@ -323,7 +323,7 @@ func TestDaemonMetricsSmoke(t *testing.T) {
 		"reprod_http_request_duration_seconds_bucket",
 		"reprod_sched_queue_wait_seconds_bucket",
 		"reprod_sched_run_duration_seconds_bucket",
-		`reprod_sched_jobs_total{outcome="done"} 5`,
+		`reprod_sched_jobs_total{outcome="done",class="interactive"} 5`,
 		`reprod_cache_requests_total{result="miss"} 4`,
 		`reprod_store_len{tier="memory"} 4`,
 		"reprod_uptime_seconds",

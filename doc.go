@@ -160,9 +160,14 @@
 //	sched_run_duration_seconds{shard}      histogram job run duration
 //	sched_queue_depth{shard}               gauge     live backlog per shard
 //	sched_running                          gauge     jobs executing now
-//	sched_jobs_total{outcome}              counter   done | failed | canceled
+//	sched_class_queue_wait_seconds{class}  histogram queue wait per priority class
+//	sched_class_queue_depth{class}         gauge     live backlog per priority class
+//	sched_pending_cost_seconds{shard}      gauge     reserved predicted wall-clock per shard
+//	sched_jobs_total{outcome,class}        counter   done | failed | canceled, per class
 //	sched_job_timeouts_total               counter   jobs killed by the server limit
-//	sched_overload_rejections_total        counter   admission-control sheds
+//	sched_overload_rejections_total{class,reason}
+//	                                       counter   sheds: queue_full | cost | brownout
+//	brownout_level                         gauge     load-shed level: 0 off … 3 shed all uncached
 //	sched_batch_size                       histogram coalesced batch sizes
 //	sched_sweep_jobs_total                 counter   executed sweep jobs
 //	sched_coalesced_batches_total          counter   coalesced batches run
@@ -250,6 +255,66 @@
 // sparklines for the key serving signals — one self-contained HTML
 // document with zero external assets, usable from a curl | browser on
 // an air-gapped box.
+//
+// # Overload & degradation quickstart
+//
+// Under overload the daemon degrades in a stated order instead of
+// collapsing: batch work is shed first, interactive work is protected,
+// and every rejection tells the client when to come back. Three
+// mechanisms compose:
+//
+// Calibrated admission. -max-cost bounds each job's predicted
+// wall-clock cost — the step-cost profiler's measured ns/step/lane ×
+// steps × replications, summed over a sweep's variants — on top of the
+// static -max-work unit bound. The prediction is only trusted when the
+// profiler cell has ≥3 samples and the newest is younger than
+// -stale-cost-after; a cold or stale profiler reverts admission to the
+// static bound (the regime change is logged once, not per request).
+// Admitted jobs reserve their predicted cost against their shard
+// (reprod_sched_pending_cost_seconds) and release it on completion, so
+// the budget bounds queued wall-clock, not just queued count.
+//
+// Priority classes. A spec's optional "priority" field is
+// "interactive" (the /v1/simulate default) or "batch" (the /v1/sweep
+// default). Interactive jobs are dequeued ahead of batch within each
+// shard's ready batch, and every queue/outcome/shed metric carries the
+// class label, so the contract — interactive survives overload at a
+// higher success ratio — is measurable, not aspirational.
+//
+// Brownout control. -brownout-rule names an SLO rule (same DSL as
+// -slo-rule; default: queue-wait p99 < 250ms over 30s) that an
+// internal/service/loadctl hysteresis controller evaluates every
+// scrape tick. Sustained violation escalates through level 1 (shed
+// batch admissions), 2 (also tighten the interactive cost budget 4×),
+// and 3 (shed everything uncached); sustained calm relaxes one level
+// at a time. The level is the reprod_brownout_level gauge, the
+// brownout section of /statsz, and a dashboard panel. Cache
+// single-flight followers inherit a leader's brownout shed instead of
+// retrying into the brownout.
+//
+// Every shed is a 429 whose Retry-After is derived from the measured
+// drain rate (backlog × mean run duration / workers, from the metrics
+// ring) or from the shed's own backlog estimate, clamped to [1s, 30s]:
+//
+//	reprod -addr :8080 -workers 8 -queue 64 \
+//	  -max-cost 4m -stale-cost-after 5m \
+//	  -brownout-rule 'brownout: p99(reprod_sched_queue_wait_seconds) < 250ms over 30s'
+//	curl -s localhost:8080/v1/simulate -d \
+//	  '{"n": 10000, "qualities": [0.9, 0.5], "beta": 0.7, "steps": 1000, "seed": 1, "priority": "batch"}'
+//	# under overload: HTTP 429, Retry-After: <seconds>, body names the shed reason
+//	curl -s localhost:8080/statsz | jq .brownout   # {level, rule, value, threshold, ...}
+//
+// The fault-injection seams in internal/faultinject (injected latency,
+// errors, and stalls at the scheduler run, coalesced-batch, and
+// disk-read points — compiled in but inert unless a test activates
+// them) power the chaos test (TestChaosOverloadShedsGracefully) that
+// proves the contract: with injected disk stalls and a mixed-priority
+// flood, ≥90% of sheds hit batch, interactive queue-wait p99 stays
+// under the SLO, and the controller returns to level 0 within one slow
+// SLO window of the flood ending — all asserted from the metrics ring.
+// CI's overload smoke step (TestDaemonOverloadSmoke) replays the same
+// contract over HTTP against a live daemon and archives the outcome as
+// BENCH_overload.json.
 //
 // # Tracing quickstart
 //

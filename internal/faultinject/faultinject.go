@@ -1,0 +1,120 @@
+// Package faultinject provides deterministic, test-only fault hooks.
+//
+// Production code marks interesting seams — a disk read, a scheduler
+// run path — with a single call:
+//
+//	if err := faultinject.Do(ctx, "store.disk.get"); err != nil { ... }
+//
+// With no faults armed the seam is one atomic load and no allocation,
+// so the hooks are safe to leave compiled into production builds;
+// there is no flag to turn them on outside a test. Tests arm a seam
+// with Activate, which returns a restore func:
+//
+//	defer faultinject.Activate("store.disk.get", &faultinject.Fault{
+//		Latency: 5 * time.Millisecond,
+//	})()
+//
+// A Fault can add latency, return an error, or stall until a channel
+// closes (or the caller's context is canceled), and can be limited to
+// every Nth traversal for deterministic partial failures.
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what happens when an armed seam is traversed.
+// Fields compose: latency is applied first, then the stall, then the
+// error. The zero Fault is a no-op.
+type Fault struct {
+	// Latency is added to every matching traversal.
+	Latency time.Duration
+	// Err, when non-nil, is returned from Do on matching traversals.
+	Err error
+	// Every limits the fault to every Nth traversal of the seam
+	// (1-indexed: Every=3 fires on the 3rd, 6th, ... traversal).
+	// Zero or one fires on every traversal. The counter is per
+	// Activate call, so tests are deterministic.
+	Every int
+	// Stall, when non-nil, blocks the traversal until the channel is
+	// closed or the caller's context is canceled (the context error
+	// is returned in that case).
+	Stall <-chan struct{}
+
+	hits atomic.Uint64
+}
+
+var (
+	// armed is the fast-path gate: seams pay one atomic load when no
+	// fault is active anywhere in the process.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]*Fault
+)
+
+// Activate arms the named seam with f and returns a func that
+// restores the previous state. Activating a seam that is already
+// armed replaces the existing fault until restore.
+func Activate(point string, f *Fault) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*Fault)
+	}
+	prev, hadPrev := points[point]
+	points[point] = f
+	if !hadPrev {
+		armed.Add(1)
+	}
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if hadPrev {
+			points[point] = prev
+			return
+		}
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Do traverses the named seam. It returns nil immediately unless a
+// test has armed the seam, in which case it applies the armed fault's
+// latency/stall/error in that order.
+func Do(ctx context.Context, point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f := points[point]
+	mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	if n := f.Every; n > 1 {
+		if f.hits.Add(1)%uint64(n) != 0 {
+			return nil
+		}
+	}
+	if f.Latency > 0 {
+		t := time.NewTimer(f.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if f.Stall != nil {
+		select {
+		case <-f.Stall:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.Err
+}

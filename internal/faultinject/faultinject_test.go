@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedSeamIsNoop(t *testing.T) {
+	if err := Do(context.Background(), "never.armed"); err != nil {
+		t.Fatalf("unarmed seam returned %v", err)
+	}
+}
+
+func TestErrorAndRestore(t *testing.T) {
+	boom := errors.New("boom")
+	restore := Activate("t.err", &Fault{Err: boom})
+	if err := Do(context.Background(), "t.err"); !errors.Is(err, boom) {
+		t.Fatalf("armed seam returned %v, want boom", err)
+	}
+	if err := Do(context.Background(), "t.other"); err != nil {
+		t.Fatalf("different seam returned %v while t.err armed", err)
+	}
+	restore()
+	if err := Do(context.Background(), "t.err"); err != nil {
+		t.Fatalf("restored seam returned %v", err)
+	}
+}
+
+func TestEveryNthTraversal(t *testing.T) {
+	boom := errors.New("boom")
+	defer Activate("t.nth", &Fault{Err: boom, Every: 3})()
+	var fired int
+	for i := 0; i < 9; i++ {
+		if Do(context.Background(), "t.nth") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every=3 fired %d times in 9 traversals, want 3", fired)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	defer Activate("t.lat", &Fault{Latency: 20 * time.Millisecond})()
+	start := time.Now()
+	if err := Do(context.Background(), "t.lat"); err != nil {
+		t.Fatalf("latency fault returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency fault returned after %v, want >= ~20ms", d)
+	}
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	stall := make(chan struct{})
+	defer Activate("t.stall", &Fault{Stall: stall})()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := Do(ctx, "t.stall"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled seam returned %v, want deadline exceeded", err)
+	}
+	close(stall)
+	if err := Do(context.Background(), "t.stall"); err != nil {
+		t.Fatalf("released stall returned %v", err)
+	}
+}
+
+func TestNestedActivateRestoresPrevious(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	r1 := Activate("t.nest", &Fault{Err: e1})
+	r2 := Activate("t.nest", &Fault{Err: e2})
+	if err := Do(context.Background(), "t.nest"); !errors.Is(err, e2) {
+		t.Fatalf("inner fault: got %v", err)
+	}
+	r2()
+	if err := Do(context.Background(), "t.nest"); !errors.Is(err, e1) {
+		t.Fatalf("after inner restore: got %v", err)
+	}
+	r1()
+	if err := Do(context.Background(), "t.nest"); err != nil {
+		t.Fatalf("after outer restore: got %v", err)
+	}
+}

@@ -285,6 +285,57 @@ func bucketDelta(old, newest *obs.Snapshot, sel Selector, buf []uint64) (upper [
 	return nf.Upper, counts, matched
 }
 
+// HistogramRate returns the selected histogram's per-second rates of
+// observed total (sum) and observation count over the trailing
+// window, summed across matching series. sumRate/countRate is then
+// the mean observed value inside the window — e.g. the mean job run
+// duration, which admission control turns into a drain-rate-derived
+// Retry-After. Histogram snapshot points carry their data in
+// Sum/Count/Buckets (Value is zero), so Rate cannot serve this; ok is
+// false without two snapshots or a matching histogram family.
+func (r *Ring) HistogramRate(sel Selector, window time.Duration) (sumRate, countRate float64, ok bool) {
+	sumRate, countRate = math.NaN(), math.NaN()
+	r.view(func(snaps []*obs.Snapshot) {
+		old, newest, have := windowEnds(snaps, window)
+		if !have {
+			return
+		}
+		nf := newest.Family(sel.Metric)
+		if nf == nil || nf.Kind != obs.KindHistogram {
+			return
+		}
+		of := old.Family(sel.Metric)
+		var dSum, dCount float64
+		matched := false
+		for i := range nf.Points {
+			p := &nf.Points[i]
+			if !sel.matches(nf.LabelNames, p.LabelValues) {
+				continue
+			}
+			matched = true
+			var baseSum float64
+			var baseCount uint64
+			if of != nil {
+				if op := of.Point(p.Key); op != nil {
+					baseSum, baseCount = op.Sum, op.Count
+				}
+			}
+			if p.Sum > baseSum {
+				dSum += p.Sum - baseSum
+			}
+			if p.Count > baseCount {
+				dCount += float64(p.Count - baseCount)
+			}
+		}
+		if !matched {
+			return
+		}
+		dt := newest.At.Sub(old.At).Seconds()
+		sumRate, countRate, ok = dSum/dt, dCount/dt, true
+	})
+	return sumRate, countRate, ok
+}
+
 // SeriesGauge returns the selected gauge's value at every retained
 // capture — the sparkline view. Instants where nothing matched carry
 // NaN.

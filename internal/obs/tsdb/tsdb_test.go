@@ -173,3 +173,36 @@ func TestRingSeriesDerivations(t *testing.T) {
 		t.Fatalf("quantile series[1] = %v, want NaN (no observations in that interval)", qs[1].V)
 	}
 }
+
+func TestRingHistogramRate(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	vec := reg.HistogramVec("run_seconds", "", []float64{0.1, 1, 10}, "shard")
+	h0, h1 := vec.With("0"), vec.With("1")
+	ring := NewRing(reg, 8)
+
+	if _, _, ok := ring.HistogramRate(Selector{Metric: "run_seconds"}, time.Minute); ok {
+		t.Fatal("histogram rate with <2 snapshots reported ok")
+	}
+	ring.Collect(at(0))
+	// 4 observations totaling 8s of run time over a 10s span:
+	// sum rate 0.8, count rate 0.4, mean run 2s.
+	h0.Observe(2)
+	h0.Observe(2)
+	h1.Observe(3)
+	h1.Observe(1)
+	ring.Collect(at(10))
+
+	sumRate, countRate, ok := ring.HistogramRate(Selector{Metric: "run_seconds"}, time.Minute)
+	if !ok || math.Abs(sumRate-0.8) > 1e-9 || math.Abs(countRate-0.4) > 1e-9 {
+		t.Fatalf("HistogramRate = %v, %v (ok=%v), want 0.8, 0.4", sumRate, countRate, ok)
+	}
+	sel := Selector{Metric: "run_seconds", Labels: map[string]string{"shard": "1"}}
+	sumRate, countRate, ok = ring.HistogramRate(sel, time.Minute)
+	if !ok || math.Abs(sumRate-0.4) > 1e-9 || math.Abs(countRate-0.2) > 1e-9 {
+		t.Fatalf("shard=1 HistogramRate = %v, %v (ok=%v), want 0.4, 0.2", sumRate, countRate, ok)
+	}
+	if _, _, ok := ring.HistogramRate(Selector{Metric: "absent"}, time.Minute); ok {
+		t.Fatal("selector naming no family reported ok")
+	}
+}

@@ -139,7 +139,11 @@ func (c *Cache) lookup(key string) (*Report, bool) {
 // queue may have drained by the time the follower observes it. The
 // follower retries Do once (re-checking the cache, joining a newer
 // flight, or leading its own) instead of amplifying one momentary
-// rejection across every concurrent identical request.
+// rejection across every concurrent identical request. The exception
+// is a brownout shed (ErrShed with Level >= 1): the controller is
+// deliberately rejecting this class of work system-wide, so the
+// follower observes the leader's ErrShed as-is — retrying would
+// resubmit exactly the traffic the brownout exists to turn away.
 //
 // When ctx carries a span trace, the lookup is recorded as a
 // "cache.get" span whose outcome attr classifies the call (hit, join,
@@ -173,7 +177,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, err
 		tr.End(sid)
 		select {
 		case <-f.done:
-			if inFlight && !retried && errors.Is(f.err, ErrOverloaded) {
+			if inFlight && !retried && errors.Is(f.err, ErrOverloaded) && !isBrownoutShed(f.err) {
 				retried = true
 				// Un-count the abandoned join so the retry attempt
 				// re-classifies this call (hit, wait, or miss) instead
@@ -188,6 +192,13 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (*Report, err
 			return nil, false, ctx.Err()
 		}
 	}
+}
+
+// isBrownoutShed reports whether err is a shed decided by an active
+// brownout (as opposed to a momentary queue-full or cost rejection).
+func isBrownoutShed(err error) bool {
+	var shed *ErrShed
+	return errors.As(err, &shed) && shed.Level >= 1
 }
 
 // lead runs the computation for one flight and publishes the result.

@@ -291,3 +291,59 @@ func TestCacheFollowerRetriesOverload(t *testing.T) {
 		t.Errorf("stats after retry: waits=%d misses=%d, want 0 and 2", st.Waits, st.Misses)
 	}
 }
+
+// TestCacheFollowerInheritsBrownoutShed is the counterpart to the
+// retry test above: when the leader's rejection was a brownout shed
+// (ErrShed with Level >= 1), the controller is deliberately turning
+// this class of work away, so the follower must observe the typed
+// error as-is — class and level intact — instead of retrying and
+// resubmitting exactly the traffic the brownout exists to shed.
+func TestCacheFollowerInheritsBrownoutShed(t *testing.T) {
+	t.Parallel()
+
+	c, err := NewCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedErr := &ErrShed{Class: ClassBatch, Level: 1, Reason: "brownout"}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	compute := func() (*Report, error) {
+		calls.Add(1)
+		<-release
+		return nil, shedErr
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", compute)
+		leaderErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Misses == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", compute)
+		followerErr <- err
+	}()
+	for c.Stats().Waits == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, ErrOverloaded) {
+		t.Errorf("leader error = %v, want ErrOverloaded via ErrShed", err)
+	}
+	err = <-followerErr
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("follower error = %v, want the leader's ErrShed", err)
+	}
+	if shed.Class != ClassBatch || shed.Level != 1 {
+		t.Errorf("follower shed = %+v, want class %q level 1", shed, ClassBatch)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1 (no follower retry under brownout)", got)
+	}
+}

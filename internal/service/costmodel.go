@@ -1,0 +1,105 @@
+package service
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// minCostSamples is how many profiler samples an (engine, draw-order)
+// combination must have absorbed before its estimate is trusted for
+// admission. Below this the model is "cold" and admission reverts to
+// the static MaxWork bound.
+const minCostSamples = 3
+
+// defaultStaleCostAfter bounds how old the newest profiler sample may
+// be before the model is considered stale.
+const defaultStaleCostAfter = 5 * time.Minute
+
+// costModel turns the step-cost profiler's calibrated ns/step/lane
+// estimates into per-job wall-clock cost predictions for admission.
+// It is deliberately conservative about its own validity: any cold or
+// stale estimate disables calibrated admission for the whole job
+// (predict returns 0), falling back to the static MaxWork bound that
+// Validate already enforced. Transitions between the calibrated and
+// fallback regimes are logged once per transition, not per request.
+type costModel struct {
+	prof       *obs.StepCostProfiler
+	maxCost    time.Duration
+	staleAfter time.Duration
+	logger     *slog.Logger
+	// fallback is true while the model last declined to predict
+	// (cold/stale); it exists only to log regime transitions once.
+	fallback atomic.Bool
+}
+
+func newCostModel(prof *obs.StepCostProfiler, maxCost, staleAfter time.Duration, logger *slog.Logger) *costModel {
+	if staleAfter <= 0 {
+		staleAfter = defaultStaleCostAfter
+	}
+	return &costModel{prof: prof, maxCost: maxCost, staleAfter: staleAfter, logger: logger}
+}
+
+// predict returns the job's predicted wall-clock cost, or 0 when
+// calibrated admission must not apply: cost admission disabled
+// (MaxCost <= 0), no profiler, or any required estimate cold/stale.
+func (c *costModel) predict(job *Job) time.Duration {
+	if c == nil || c.maxCost <= 0 || c.prof == nil {
+		return 0
+	}
+	var totalNs float64
+	if job.sweep != nil {
+		for i := range job.sweep.Variants {
+			spec := job.sweep.variantSpec(i)
+			ns, ok := c.specCost(&spec)
+			if !ok {
+				c.noteFallback()
+				return 0
+			}
+			totalNs += ns
+		}
+	} else {
+		ns, ok := c.specCost(&job.spec)
+		if !ok {
+			c.noteFallback()
+			return 0
+		}
+		totalNs = ns
+	}
+	c.noteCalibrated()
+	return time.Duration(totalNs)
+}
+
+// specCost estimates one spec's serial wall-clock cost from the
+// profiler: ns/step/lane × steps × replications. ok is false when the
+// estimate is missing, cold (< minCostSamples), or stale.
+func (c *costModel) specCost(spec *Spec) (float64, bool) {
+	engine, order := spec.engineName(), spec.drawOrderVersion()
+	est := c.prof.Estimate(engine, order)
+	if est <= 0 || c.prof.Samples(engine, order) < minCostSamples {
+		return 0, false
+	}
+	age, ok := c.prof.LastSampleAge(engine, order)
+	if !ok || age > c.staleAfter {
+		return 0, false
+	}
+	return est * float64(spec.Steps) * float64(spec.Replications), true
+}
+
+// noteFallback logs the calibrated→static transition exactly once;
+// noteCalibrated re-arms it when the profiler warms back up.
+func (c *costModel) noteFallback() {
+	if c.fallback.CompareAndSwap(false, true) && c.logger != nil {
+		c.logger.Warn("cost model cold or stale; admission reverting to static MaxWork bound",
+			"stale_after", c.staleAfter)
+	}
+}
+
+func (c *costModel) noteCalibrated() {
+	if c.fallback.CompareAndSwap(true, false) && c.logger != nil {
+		c.logger.Info("cost model calibrated; admission using predicted wall-clock cost",
+			"max_cost", c.maxCost)
+	}
+}

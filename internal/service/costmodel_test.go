@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// warmProfiler folds enough identical samples into the scheduler's
+// step-cost profiler that the cost model trusts its estimate:
+// nsPerStep ns/step/lane for the given engine/order combination.
+func warmProfiler(s *Scheduler, engine, order string, nsPerStep int64) {
+	for i := 0; i < minCostSamples; i++ {
+		s.metrics.stepCost.Observe(engine, order, 1000, 1, nsPerStep*1000)
+	}
+}
+
+// countingHandler counts emitted log records per message substring.
+type countingHandler struct {
+	mu      sync.Mutex
+	records []string
+}
+
+func (h *countingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *countingHandler) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	h.records = append(h.records, r.Message)
+	h.mu.Unlock()
+	return nil
+}
+func (h *countingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *countingHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *countingHandler) count(substr string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, m := range h.records {
+		if strings.Contains(m, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCostAdmissionRejectsOverBudget warms the profiler, then checks
+// that a job whose predicted wall-clock cost exceeds -max-cost is
+// rejected with a cost-reason ErrShed while a cheap job still runs —
+// and that completed jobs return their reservation to the shard.
+func TestCostAdmissionRejectsOverBudget(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{
+		Workers: 1, QueueDepth: 8,
+		MaxCost: 100 * time.Millisecond,
+	})
+	// 1ms/step: a 200-step spec predicts 200ms > the 100ms budget.
+	warmProfiler(s, "aggregate", "v1", int64(time.Millisecond))
+
+	big := validSpec()
+	_, err := s.Submit(big)
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("Submit over cost budget = %v, want ErrShed", err)
+	}
+	if shed.Reason != "cost" {
+		t.Errorf("shed reason %q, want \"cost\"", shed.Reason)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Error("ErrShed does not unwrap to ErrOverloaded")
+	}
+	st := s.Stats()
+	if st.Classes[ClassInteractive].Shed != 1 {
+		t.Errorf("interactive shed count = %d, want 1", st.Classes[ClassInteractive].Shed)
+	}
+
+	// A job inside the budget runs, and its reservation drains to zero.
+	small := validSpec()
+	small.Steps = 50 // predicts 50ms < 100ms
+	small.Seed = 7
+	job, err := s.Submit(small)
+	if err != nil {
+		t.Fatalf("Submit within budget: %v", err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PendingCostSeconds; got != 0 {
+		t.Errorf("PendingCostSeconds after drain = %v, want 0", got)
+	}
+}
+
+// TestCostModelStaleFallback is the stale-profiler regression: when
+// the newest sample is older than StaleCostAfter, predict declines
+// (reverting admission to the static MaxWork path) and the regime
+// change is logged once — not once per request.
+func TestCostModelStaleFallback(t *testing.T) {
+	t.Parallel()
+
+	h := &countingHandler{}
+	reg := obs.NewRegistry()
+	prof := obs.NewStepCostProfiler(reg)
+	for i := 0; i < minCostSamples; i++ {
+		prof.Observe("aggregate", "v1", 1000, 1, int64(time.Millisecond)*1000)
+	}
+	// Everything is stale after a nanosecond, so the freshly warmed
+	// estimate is already too old by the time predict runs.
+	cm := newCostModel(prof, time.Second, time.Nanosecond, slog.New(h))
+	spec := validSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{spec: spec, class: ClassInteractive}
+	for i := 0; i < 5; i++ {
+		if got := cm.predict(job); got != 0 {
+			t.Fatalf("predict with stale profiler = %v, want 0 (static fallback)", got)
+		}
+	}
+	const fallbackMsg = "cost model cold or stale"
+	if n := h.count(fallbackMsg); n != 1 {
+		t.Errorf("fallback logged %d times over 5 predictions, want exactly 1", n)
+	}
+
+	// A warm model predicts again and logs the recovery once.
+	cm2 := newCostModel(prof, time.Second, time.Hour, slog.New(h))
+	cm2.fallback.Store(true) // as if previously degraded
+	want := time.Duration(float64(time.Millisecond) * float64(spec.Steps))
+	for i := 0; i < 3; i++ {
+		if got := cm2.predict(job); got != want {
+			t.Fatalf("predict with warm profiler = %v, want %v", got, want)
+		}
+	}
+	if n := h.count("cost model calibrated"); n != 1 {
+		t.Errorf("calibration logged %d times over 3 predictions, want exactly 1", n)
+	}
+}
+
+// TestCostModelColdStaysStatic: below minCostSamples the model must
+// not trust the estimate no matter how fresh it is.
+func TestCostModelColdStaysStatic(t *testing.T) {
+	t.Parallel()
+
+	reg := obs.NewRegistry()
+	prof := obs.NewStepCostProfiler(reg)
+	prof.Observe("aggregate", "v1", 1000, 1, int64(time.Millisecond)*1000)
+	cm := newCostModel(prof, time.Second, time.Hour, nil)
+	spec := validSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.predict(&Job{spec: spec}); got != 0 {
+		t.Errorf("predict with %d samples = %v, want 0", 1, got)
+	}
+}
+
+// TestCostAdmissionSweepSumsVariants: a sweep's prediction is the sum
+// over its variants, so a sweep that individually fits but jointly
+// exceeds the budget is shed.
+func TestCostAdmissionSweepSumsVariants(t *testing.T) {
+	t.Parallel()
+
+	s := newTestScheduler(t, SchedulerConfig{
+		Workers: 1, QueueDepth: 8,
+		MaxCost: 150 * time.Millisecond,
+	})
+	warmProfiler(s, "aggregate", "v1", int64(time.Millisecond))
+
+	sw := SweepSpec{
+		Family: SweepFamily{Qualities: []float64{0.9, 0.5}, Beta: 0.7},
+		// Two 100-step variants: 100ms each, 200ms summed > 150ms.
+		Variants: []SweepVariant{
+			{N: 1000, Steps: 100, Seed: 1},
+			{N: 1000, Steps: 100, Seed: 2},
+		},
+	}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := sw.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := sw.variantHashes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.SubmitSweep(sw, hash, hashes)
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("sweep over summed budget = %v, want ErrShed", err)
+	}
+	if shed.Class != ClassBatch {
+		t.Errorf("sweep shed class %q, want %q", shed.Class, ClassBatch)
+	}
+}

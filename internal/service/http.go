@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -15,6 +16,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
+	"repro/internal/service/loadctl"
 )
 
 // maxBodyBytes bounds request bodies; a Spec with MaxOptions qualities
@@ -55,6 +58,8 @@ type Server struct {
 	traces  *span.Recorder
 	runtime *obs.RuntimeCollector
 	slo     *slo.Engine
+	history *tsdb.Ring
+	loadctl *loadctl.Controller
 
 	// draining flips once StartDrain is called; /readyz answers 503
 	// from then on while /healthz keeps reporting liveness.
@@ -81,6 +86,22 @@ func WithLogger(l *slog.Logger) ServerOption {
 // answers 404 and /statsz omits the section.
 func WithSLO(e *slo.Engine) ServerOption {
 	return func(s *Server) { s.slo = e }
+}
+
+// WithHistory attaches the metrics-history ring. The overload paths
+// use it to derive Retry-After from the measured drain rate (queue
+// depth × mean run duration over the recent window) instead of a
+// static hint. Without this option Retry-After falls back to 1s.
+func WithHistory(ring *tsdb.Ring) ServerOption {
+	return func(s *Server) { s.history = ring }
+}
+
+// WithLoadControl attaches the brownout controller so /statsz exposes
+// its level, driving rule, and escalation count alongside the
+// scheduler stats. The controller itself acts inside the scheduler
+// (SchedulerConfig.LoadControl); this option only adds visibility.
+func WithLoadControl(ctl *loadctl.Controller) ServerOption {
+	return func(s *Server) { s.loadctl = ctl }
 }
 
 // WithTraces enables span tracing: the work-submitting routes open a
@@ -345,12 +366,52 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, simulateResponse{Cached: cached, Report: report})
 }
 
+// retryAfterWindow is how far back retryAfterSeconds looks for the
+// measured run-duration rate when deriving the drain-based hint.
+const retryAfterWindow = 30 * time.Second
+
+// retryAfterBounds clamp the Retry-After hint: at least 1s (the old
+// static hint) and at most 30s so a transiently deep backlog never
+// tells clients to go away for minutes.
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// retryAfterSeconds derives the Retry-After hint for one rejection.
+// A shed error carrying its own backlog estimate (cost admission
+// knows the shard's reserved wall-clock) wins; otherwise the hint is
+// the measured drain time — (queued + running) × mean run duration /
+// workers — from the history ring. Both are clamped to [1s, 30s];
+// without data the hint degrades to the old static 1.
+func (s *Server) retryAfterSeconds(err error) int {
+	clamp := func(seconds float64) int {
+		return min(max(int(math.Ceil(seconds)), minRetryAfter), maxRetryAfter)
+	}
+	var shed *ErrShed
+	if errors.As(err, &shed) && shed.RetryAfter > 0 {
+		return clamp(shed.RetryAfter.Seconds())
+	}
+	if s.history != nil {
+		sumRate, countRate, ok := s.history.HistogramRate(
+			tsdb.Selector{Metric: "reprod_sched_run_duration_seconds"}, retryAfterWindow)
+		if ok && countRate > 0 && sumRate > 0 {
+			st := s.sched.Stats()
+			if backlog := st.Queued + st.Running; backlog > 0 {
+				meanRun := sumRate / countRate
+				return clamp(float64(backlog) * meanRun / float64(max(st.Workers, 1)))
+			}
+		}
+	}
+	return minRetryAfter
+}
+
 // writeSyncError maps a synchronous execution error onto its status
 // code (shared by /v1/simulate and /v1/sweep).
 func (s *Server) writeSyncError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(err)))
 		s.writeError(w, r, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		s.writeError(w, r, http.StatusServiceUnavailable, err)
@@ -573,7 +634,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		s.writeJSON(w, r, http.StatusAccepted, jobView(job))
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(err)))
 		s.writeError(w, r, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		s.writeError(w, r, http.StatusServiceUnavailable, err)
@@ -833,6 +894,7 @@ type statszResponse struct {
 	Cache         CacheStats       `json:"cache"`
 	Runtime       obs.RuntimeStats `json:"runtime"`
 	SLO           *slo.Status      `json:"slo,omitempty"`
+	Brownout      *loadctl.Status  `json:"brownout,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -848,6 +910,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if s.slo != nil {
 		st := s.slo.Status(now)
 		resp.SLO = &st
+	}
+	if s.loadctl != nil {
+		st := s.loadctl.Status()
+		resp.Brownout = &st
 	}
 	s.writeJSON(w, r, http.StatusOK, resp)
 }

@@ -1,0 +1,154 @@
+package loadctl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
+)
+
+// harness drives a controller against a real ring with a synthetic
+// clock: observe() feeds the pressure histogram, tick() collects a
+// snapshot and advances the controller one tick (250ms apart).
+type harness struct {
+	reg  *obs.Registry
+	ring *tsdb.Ring
+	hist *obs.Histogram
+	ctl  *Controller
+	now  time.Time
+}
+
+func newHarness(t *testing.T, escalate, relax int) *harness {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := tsdb.NewRing(reg, 256)
+	hist := reg.Histogram("test_wait_seconds", "test signal.",
+		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5})
+	rule, err := slo.ParseRule("brownout: p99(test_wait_seconds) < 100ms over 1s")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	ctl := New(Config{
+		Ring: ring, Registry: reg, Rule: rule,
+		EscalateTicks: escalate, RelaxTicks: relax,
+	})
+	return &harness{
+		reg: reg, ring: ring, hist: hist, ctl: ctl,
+		now: time.Unix(1700000000, 0),
+	}
+}
+
+func (h *harness) tick() {
+	h.now = h.now.Add(250 * time.Millisecond)
+	h.ring.Collect(h.now)
+	h.ctl.Tick(h.now)
+}
+
+func TestEscalateAndRelaxWithHysteresis(t *testing.T) {
+	h := newHarness(t, 2, 2)
+	if h.ctl.Level() != LevelNone {
+		t.Fatalf("initial level = %d, want 0", h.ctl.Level())
+	}
+
+	// Baseline snapshot, then sustained pressure: p99 far over 100ms.
+	h.tick()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 20; j++ {
+			h.hist.Observe(0.4)
+		}
+		h.tick()
+	}
+	if h.ctl.Level() != LevelShedBatch {
+		t.Fatalf("after 2 pressured ticks level = %d, want %d", h.ctl.Level(), LevelShedBatch)
+	}
+
+	// Continued pressure escalates one level per EscalateTicks, capped
+	// at MaxLevel.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 20; j++ {
+			h.hist.Observe(0.4)
+		}
+		h.tick()
+	}
+	if h.ctl.Level() != MaxLevel {
+		t.Fatalf("under sustained pressure level = %d, want max %d", h.ctl.Level(), MaxLevel)
+	}
+
+	// Recovery: the 1s window drains of bad samples; empty/calm windows
+	// relax exactly one level per RelaxTicks, not all at once.
+	seen := map[int]bool{MaxLevel: true}
+	for i := 0; i < 40 && h.ctl.Level() > LevelNone; i++ {
+		h.tick()
+		seen[h.ctl.Level()] = true
+	}
+	if h.ctl.Level() != LevelNone {
+		t.Fatalf("controller never relaxed back to 0, stuck at %d", h.ctl.Level())
+	}
+	for lvl := LevelNone; lvl <= MaxLevel; lvl++ {
+		if !seen[lvl] {
+			t.Fatalf("relaxation skipped level %d (one level at a time): saw %v", lvl, seen)
+		}
+	}
+}
+
+func TestDeadBandHoldsLevel(t *testing.T) {
+	// A gauge-valued rule makes the signal instantaneous, so the test
+	// probes the hysteresis bands without quantile-window carryover.
+	reg := obs.NewRegistry()
+	ring := tsdb.NewRing(reg, 64)
+	g := reg.Gauge("test_pressure", "test signal.")
+	rule, err := slo.ParseRule("brownout: value(test_pressure) < 0.1 over 1s")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	ctl := New(Config{Ring: ring, Registry: reg, Rule: rule, EscalateTicks: 1, RelaxTicks: 1})
+	now := time.Unix(1700000000, 0)
+	tick := func(v float64) {
+		g.Set(v)
+		now = now.Add(250 * time.Millisecond)
+		ring.Collect(now)
+		ctl.Tick(now)
+	}
+
+	tick(0.4) // pressured: escalate
+	if ctl.Level() != LevelShedBatch {
+		t.Fatalf("level = %d, want 1", ctl.Level())
+	}
+	// Signal in the dead band: below threshold (0.1) but above the
+	// relax margin (0.075). With RelaxTicks=1 any calm tick would
+	// relax, so holding proves the dead band.
+	for i := 0; i < 4; i++ {
+		tick(0.09)
+		if ctl.Level() != LevelShedBatch {
+			t.Fatalf("dead-band tick %d moved level to %d, want hold at 1", i, ctl.Level())
+		}
+	}
+	tick(0.01) // clearly calm: relax
+	if ctl.Level() != LevelNone {
+		t.Fatalf("calm tick left level at %d, want 0", ctl.Level())
+	}
+}
+
+func TestGaugeExportAndStatus(t *testing.T) {
+	h := newHarness(t, 1, 4)
+	h.tick()
+	for j := 0; j < 20; j++ {
+		h.hist.Observe(0.4)
+	}
+	h.tick()
+	// The tick's snapshot preceded the escalation; take one more so the
+	// exported gauge reflects the new level.
+	h.ring.Collect(h.now.Add(time.Millisecond))
+	if v, ok := h.ring.Gauge(tsdb.Selector{Metric: "reprod_brownout_level"}); !ok || v < 1 {
+		t.Fatalf("reprod_brownout_level gauge = %v (ok=%v), want >= 1", v, ok)
+	}
+	st := h.ctl.Status()
+	if st.Level < 1 || st.MaxLevel != MaxLevel || st.Escalations == 0 {
+		t.Fatalf("Status() = %+v, want level >= 1 with an escalation recorded", st)
+	}
+	if st.Value == nil || *st.Value < 0.1 {
+		t.Fatalf("Status().Value = %v, want the violating signal value", st.Value)
+	}
+}

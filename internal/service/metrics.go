@@ -2,6 +2,7 @@ package service
 
 import (
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiment"
@@ -22,12 +23,18 @@ import (
 //	reprod_http_requests_inflight                 gauge     requests currently being served
 //	reprod_http_response_errors_total             counter   response encode/write failures
 //	reprod_sched_queue_wait_seconds{shard}        histogram queue-wait per shard (the SLO signal)
+//	reprod_sched_class_queue_wait_seconds{class}  histogram queue-wait per priority class
 //	reprod_sched_run_duration_seconds{shard}      histogram job run duration per shard
 //	reprod_sched_queue_depth{shard}               gauge     live backlog per shard
+//	reprod_sched_class_queue_depth{class}         gauge     live backlog per priority class
+//	reprod_sched_pending_cost_seconds{shard}      gauge     predicted wall-clock backlog per shard
 //	reprod_sched_running                          gauge     jobs executing now
-//	reprod_sched_jobs_total{outcome}              counter   terminal jobs: done|failed|canceled
+//	reprod_sched_jobs_total{outcome,class}        counter   terminal jobs: done|failed|canceled, per class
 //	reprod_sched_job_timeouts_total               counter   jobs killed by the server time limit
-//	reprod_sched_overload_rejections_total        counter   submissions shed by admission control
+//	reprod_sched_overload_rejections_total{class,reason}
+//	                                              counter   submissions shed by admission control,
+//	                                              by class and reason: queue_full|cost|brownout
+//	reprod_brownout_level                         gauge     brownout level 0..3 (internal/service/loadctl)
 //	reprod_sched_batch_size                       histogram coalesced batch sizes (jobs per batch)
 //	reprod_sched_sweep_jobs_total                 counter   executed sweep jobs
 //	reprod_sched_coalesced_batches_total          counter   coalesced batches run
@@ -82,11 +89,18 @@ type schedMetrics struct {
 	depth     []*obs.Gauge     // per shard
 	running   *obs.Gauge
 
-	jobsDone     *obs.Counter
-	jobsFailed   *obs.Counter
-	jobsCanceled *obs.Counter
+	// Per-class views, indexed by classIndex (0 interactive, 1 batch).
+	classQueueWait [numClasses]*obs.Histogram
+	classDepth     [numClasses]*obs.Gauge
+
+	jobsDone     [numClasses]*obs.Counter
+	jobsFailed   [numClasses]*obs.Counter
+	jobsCanceled [numClasses]*obs.Counter
 	timeouts     *obs.Counter
-	shed         *obs.Counter
+	// shed is indexed [classIndex][shedReason]. The tsdb selector with
+	// no labels sums every child, so the default overload-rate SLO rule
+	// reads the family unchanged.
+	shed [numClasses][numShedReasons]*obs.Counter
 
 	batchSize   *obs.Histogram
 	sweeps      *obs.Counter
@@ -107,7 +121,7 @@ type schedMetrics struct {
 // newSchedMetrics registers the scheduler families and pre-resolves
 // every per-shard child, so the dequeue and settle paths never touch
 // the registry.
-func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.SweepCounters) *schedMetrics {
+func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.SweepCounters, pending []atomic.Int64) *schedMetrics {
 	m := &schedMetrics{reg: reg}
 	lat := obs.LatencyBuckets()
 	qw := reg.HistogramVec("reprod_sched_queue_wait_seconds",
@@ -116,23 +130,42 @@ func newSchedMetrics(reg *obs.Registry, workers int, sweepCtrs *experiment.Sweep
 		"Job execution wall-clock time, per shard.", lat, "shard")
 	dp := reg.GaugeVec("reprod_sched_queue_depth",
 		"Jobs queued and not yet picked up, per shard.", "shard")
+	pc := reg.GaugeVec("reprod_sched_pending_cost_seconds",
+		"Predicted wall-clock cost of admitted-but-unfinished work, per shard (0 while the cost model is cold).",
+		"shard")
 	for i := 0; i < workers; i++ {
 		shard := strconv.Itoa(i)
 		m.queueWait = append(m.queueWait, qw.With(shard))
 		m.runDur = append(m.runDur, rd.With(shard))
 		m.depth = append(m.depth, dp.With(shard))
+		p := &pending[i]
+		pc.WithFunc(func() float64 {
+			return time.Duration(p.Load()).Seconds()
+		}, shard)
 	}
 	m.running = reg.Gauge("reprod_sched_running", "Jobs executing right now.")
 
+	cqw := reg.HistogramVec("reprod_sched_class_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up, per priority class.", lat, "class")
+	cdp := reg.GaugeVec("reprod_sched_class_queue_depth",
+		"Jobs queued and not yet picked up, per priority class.", "class")
 	jobs := reg.CounterVec("reprod_sched_jobs_total",
-		"Jobs reaching a terminal state, by outcome.", "outcome")
-	m.jobsDone = jobs.With("done")
-	m.jobsFailed = jobs.With("failed")
-	m.jobsCanceled = jobs.With("canceled")
+		"Jobs reaching a terminal state, by outcome and priority class.", "outcome", "class")
+	shed := reg.CounterVec("reprod_sched_overload_rejections_total",
+		"Submissions rejected by admission control, by priority class and reason (queue_full: shard queue at capacity; cost: predicted wall-clock cost over the shard budget; brownout: shed by the load controller).",
+		"class", "reason")
+	for ci, class := range classNames {
+		m.classQueueWait[ci] = cqw.With(class)
+		m.classDepth[ci] = cdp.With(class)
+		m.jobsDone[ci] = jobs.With("done", class)
+		m.jobsFailed[ci] = jobs.With("failed", class)
+		m.jobsCanceled[ci] = jobs.With("canceled", class)
+		for ri, reason := range shedReasonNames {
+			m.shed[ci][ri] = shed.With(class, reason)
+		}
+	}
 	m.timeouts = reg.Counter("reprod_sched_job_timeouts_total",
 		"Jobs killed by the server-side job timeout (also counted failed).")
-	m.shed = reg.Counter("reprod_sched_overload_rejections_total",
-		"Submissions rejected by admission control because the shard queue was full.")
 
 	m.batchSize = reg.Histogram("reprod_sched_batch_size",
 		"Jobs per coalesced same-family batch.", batchSizeBuckets())

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/stats"
@@ -33,6 +35,88 @@ var (
 	// no job — in particular an uncancelable synchronous single-flight
 	// leader — can occupy a shard worker until process restart.
 	ErrJobTimeout = errors.New("service: job exceeded server time limit")
+)
+
+// The scheduler's priority classes. Interactive work dequeues ahead
+// of batch work within each drained pass and is the last to be shed
+// under brownout; batch work sheds first.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+// numClasses sizes the per-class metric arrays; classNames indexes
+// the vocabulary by classIndex.
+const numClasses = 2
+
+var classNames = [numClasses]string{ClassInteractive, ClassBatch}
+
+// classIndex maps a class name onto its metric-array index (unknown
+// or empty classes count as interactive, the default).
+func classIndex(class string) int {
+	if class == ClassBatch {
+		return 1
+	}
+	return 0
+}
+
+// Admission shed reasons, indexing shedReasonNames and the second
+// axis of schedMetrics.shed.
+const (
+	shedQueueFull = iota // shard queue at capacity
+	shedCost             // predicted wall-clock cost over the shard budget
+	shedBrownout         // rejected by the brownout load controller
+	numShedReasons
+)
+
+var shedReasonNames = [numShedReasons]string{"queue_full", "cost", "brownout"}
+
+// ErrShed is the typed admission rejection: which class was shed, at
+// what brownout level, and why. It unwraps to ErrOverloaded, so every
+// existing errors.Is(err, ErrOverloaded) check — including the cache
+// single-flight's follower handling — keeps working, while callers
+// that care (batch clients backing off differently from interactive
+// ones) can errors.As the detail out.
+type ErrShed struct {
+	// Class is the shed job's priority class.
+	Class string
+	// Level is the brownout level at the moment of rejection (0 when
+	// the shed was not brownout-driven).
+	Level int
+	// Reason is one of "queue_full", "cost", or "brownout".
+	Reason string
+	// RetryAfter is the scheduler's drain-time hint: for cost sheds,
+	// the shard's predicted pending wall-clock backlog. Zero means no
+	// hint (the HTTP layer derives one from the measured drain rate).
+	RetryAfter time.Duration
+}
+
+func (e *ErrShed) Error() string {
+	return fmt.Sprintf("service: overloaded: %s job shed (%s, brownout level %d)",
+		e.Class, e.Reason, e.Level)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold for every shed.
+func (e *ErrShed) Unwrap() error { return ErrOverloaded }
+
+// Leveler supplies the brownout level admission control consults —
+// implemented by *loadctl.Controller. The scheduler's reading of the
+// levels:
+//
+//	>= levelShedBatch           reject batch-class submissions
+//	>= levelTightenInteractive  divide the cost budget by interactiveTighten
+//	>= levelShedAll             reject every submission
+type Leveler interface {
+	Level() int
+}
+
+const (
+	levelShedBatch          = 1
+	levelTightenInteractive = 2
+	levelShedAll            = 3
+	// interactiveTighten is the cost-budget divisor applied at
+	// levelTightenInteractive and above.
+	interactiveTighten = 4
 )
 
 // ctxCheckEvery is the most simulation steps that run between context
@@ -104,6 +188,14 @@ type Job struct {
 	// it is echoed in the job view and every log line about this job,
 	// so a latency outlier is greppable back to the exact request.
 	requestID string
+
+	// class is the job's priority class (ClassInteractive or
+	// ClassBatch), resolved from the spec at submission.
+	class string
+	// costNs is the wall-clock cost the calibrated admission charged
+	// against the shard budget (0 when the cost model was cold, stale,
+	// or disabled); released in retire.
+	costNs int64
 
 	// strace is the submitting request's span trace (nil for untraced
 	// submissions; every span call below is nil-safe). The scheduler
@@ -331,6 +423,24 @@ type SchedulerConfig struct {
 	// to benchmark the unbatched path and as an operational escape
 	// hatch.
 	DisableCoalesce bool
+	// MaxCost, when positive, is each shard's wall-clock admission
+	// budget: a submission whose predicted cost (step-cost profiler
+	// estimate × steps × replications, summed per variant for sweeps)
+	// would push the shard's pending predicted work past MaxCost is
+	// rejected with an ErrShed carrying the backlog as its Retry-After
+	// hint. Prediction needs a warm profiler — cold or stale estimates
+	// fall back to the static MaxWork bound Validate already enforced.
+	// Zero disables cost admission.
+	MaxCost time.Duration
+	// StaleCostAfter bounds how old the profiler's newest sample for
+	// an (engine, draw_order) pair may be before its estimate is
+	// considered stale and cost admission falls back to the static
+	// path (default 5m).
+	StaleCostAfter time.Duration
+	// LoadControl, when set, supplies the brownout level admission
+	// consults on every submission (see internal/service/loadctl and
+	// the Leveler docs for the level semantics). Nil means level 0.
+	LoadControl Leveler
 	// Metrics is the registry the scheduler records into. Nil gets a
 	// fresh private registry, so embedded schedulers (tests, library
 	// use) stay fully instrumented without any wiring.
@@ -364,6 +474,25 @@ type SchedulerStats struct {
 	// CoalesceRate is BatchedJobs / (BatchedJobs + SoloJobs): the
 	// fraction of single-spec jobs that rode a shared batch.
 	CoalesceRate float64 `json:"coalesce_rate"`
+	// Shed counts admission rejections, all classes and reasons
+	// combined.
+	Shed uint64 `json:"shed"`
+	// PendingCostSeconds is the predicted wall-clock cost of admitted
+	// but unfinished work, summed across shards (0 while the cost
+	// model is cold or disabled).
+	PendingCostSeconds float64 `json:"pending_cost_seconds"`
+	// Classes breaks queue depth, terminal outcomes, and sheds down by
+	// priority class.
+	Classes map[string]ClassStats `json:"classes"`
+}
+
+// ClassStats is one priority class's slice of the pool state.
+type ClassStats struct {
+	Queued   int    `json:"queued"`
+	Done     uint64 `json:"done"`
+	Failed   uint64 `json:"failed"`
+	Canceled uint64 `json:"canceled"`
+	Shed     uint64 `json:"shed"`
 }
 
 // shard is one worker's FIFO backlog. A slice guarded by a mutex —
@@ -394,6 +523,15 @@ type Scheduler struct {
 	wg       sync.WaitGroup
 	nextID   atomic.Uint64
 	maxBatch atomic.Int64 // max-tracker, not exposable as a plain counter
+
+	// pendingNs tracks each shard's admitted-but-unfinished predicted
+	// wall-clock cost in nanoseconds: reserved at enqueue (CAS against
+	// the MaxCost budget), released in retire so every terminal path
+	// settles the account exactly once.
+	pendingNs []atomic.Int64
+	// costs converts a job's work units into predicted wall-clock cost
+	// via the step-cost profiler (nil-safe; see costmodel.go).
+	costs *costModel
 
 	// metrics holds every scheduler counter, gauge, and histogram
 	// handle, pre-resolved at construction. Stats() derives /statsz
@@ -429,6 +567,12 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.SweepWorkers == 0 {
 		cfg.SweepWorkers = cfg.Workers
 	}
+	if cfg.MaxCost < 0 {
+		return nil, fmt.Errorf("%w: max cost=%s", ErrBadSpec, cfg.MaxCost)
+	}
+	if cfg.StaleCostAfter < 0 {
+		return nil, fmt.Errorf("%w: stale cost after=%s", ErrBadSpec, cfg.StaleCostAfter)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -444,7 +588,9 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		jobs:      make(map[string]*Job),
 		logger:    logger,
 	}
-	s.metrics = newSchedMetrics(reg, cfg.Workers, &s.sweepCtrs)
+	s.pendingNs = make([]atomic.Int64, cfg.Workers)
+	s.metrics = newSchedMetrics(reg, cfg.Workers, &s.sweepCtrs, s.pendingNs)
+	s.costs = newCostModel(s.metrics.stepCost, cfg.MaxCost, cfg.StaleCostAfter, logger)
 	for i := range s.shards {
 		sh := &shard{}
 		sh.cond = sync.NewCond(&sh.mu)
@@ -503,6 +649,7 @@ func (s *Scheduler) SubmitTraced(spec Spec, hash, requestID string) (*Job, error
 func (s *Scheduler) SubmitSpanned(spec Spec, hash, requestID string, tr *span.Trace, parent span.ID) (*Job, error) {
 	job := s.newJob(hash)
 	job.spec = spec
+	job.class = spec.class()
 	job.coalesceKey = spec.familyKey()
 	job.requestID = requestID
 	job.strace = tr
@@ -529,6 +676,7 @@ func (s *Scheduler) SubmitSweepTraced(sw SweepSpec, hash string, variantHashes [
 func (s *Scheduler) SubmitSweepSpanned(sw SweepSpec, hash string, variantHashes []string, requestID string, tr *span.Trace, parent span.ID) (*Job, error) {
 	job := s.newJob(hash)
 	job.sweep = &sw
+	job.class = sw.class()
 	job.variantHashes = variantHashes
 	job.requestID = requestID
 	job.strace = tr
@@ -565,7 +713,9 @@ func (s *Scheduler) newJob(hash string) *Job {
 }
 
 // enqueue registers the job and appends it to its shard's backlog,
-// enforcing admission control.
+// enforcing admission control in three layers: the brownout level
+// (class-selective shedding), the calibrated wall-clock cost budget
+// (when the profiler is warm), and the static queue-depth bound.
 func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -576,22 +726,51 @@ func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 	s.jobs[job.id] = job
 	s.mu.Unlock()
 
+	// Brownout admission: level >= 1 sheds new batch work, level 3
+	// sheds everything uncached (level 2 acts through the tightened
+	// cost budget below).
+	lvl := 0
+	if s.cfg.LoadControl != nil {
+		lvl = s.cfg.LoadControl.Level()
+	}
+	if lvl >= levelShedAll || (lvl >= levelShedBatch && job.class == ClassBatch) {
+		s.forget(job.id)
+		job.cancel()
+		return nil, s.shed(job, shedBrownout, lvl, 0, "brownout active")
+	}
+	// Calibrated cost admission: reserve the job's predicted
+	// wall-clock cost against the shard's budget. predict returns 0 —
+	// falling back to the static MaxWork bound Validate enforced —
+	// while the profiler is cold, stale, or cost admission is off.
+	if predicted := s.costs.predict(job); predicted > 0 {
+		budget := s.cfg.MaxCost
+		if lvl >= levelTightenInteractive {
+			budget /= interactiveTighten
+		}
+		if !s.reserveCost(job.shard, int64(predicted), int64(budget)) {
+			backlog := time.Duration(s.pendingNs[job.shard].Load())
+			s.forget(job.id)
+			job.cancel()
+			return nil, s.shed(job, shedCost, lvl, backlog, "predicted cost over shard budget")
+		}
+		job.costNs = int64(predicted)
+	}
+
 	sh := s.shards[job.shard]
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
+		s.releaseCost(job)
 		s.forget(job.id)
 		job.cancel()
 		return nil, ErrClosed
 	}
 	if len(sh.queue) >= s.cfg.QueueDepth {
 		sh.mu.Unlock()
+		s.releaseCost(job)
 		s.forget(job.id)
 		job.cancel()
-		s.metrics.shed.Inc()
-		s.logger.Warn("job shed: shard queue full",
-			"shard", job.shard, "spec_hash", job.hash, "request_id", job.requestID)
-		return nil, ErrOverloaded
+		return nil, s.shed(job, shedQueueFull, lvl, 0, "shard queue full")
 	}
 	// Retain the request's trace and open the queue-wait span before
 	// the job becomes visible to the worker: once the append lands, a
@@ -604,7 +783,47 @@ func (s *Scheduler) enqueue(job *Job) (*Job, error) {
 	sh.cond.Signal()
 	sh.mu.Unlock()
 	s.metrics.depth[job.shard].Inc()
+	s.metrics.classDepth[classIndex(job.class)].Inc()
 	return job, nil
+}
+
+// shed records one admission rejection — per-class/per-reason counter
+// plus the structured log line — and returns the typed error.
+func (s *Scheduler) shed(job *Job, reason, level int, retryAfter time.Duration, msg string) error {
+	s.metrics.shed[classIndex(job.class)][reason].Inc()
+	s.logger.Warn("job shed: "+msg,
+		"shard", job.shard, "class", job.class, "reason", shedReasonNames[reason],
+		"brownout_level", level, "spec_hash", job.hash, "request_id", job.requestID)
+	return &ErrShed{
+		Class:      job.class,
+		Level:      level,
+		Reason:     shedReasonNames[reason],
+		RetryAfter: retryAfter,
+	}
+}
+
+// reserveCost atomically charges costNs to the shard's pending
+// account unless that would exceed budgetNs. The CAS loop makes
+// concurrent submissions unable to jointly overshoot the budget.
+func (s *Scheduler) reserveCost(shard int, costNs, budgetNs int64) bool {
+	p := &s.pendingNs[shard]
+	for {
+		cur := p.Load()
+		if cur+costNs > budgetNs {
+			return false
+		}
+		if p.CompareAndSwap(cur, cur+costNs) {
+			return true
+		}
+	}
+}
+
+// releaseCost returns a job's cost reservation to its shard.
+func (s *Scheduler) releaseCost(job *Job) {
+	if job.costNs > 0 {
+		s.pendingNs[job.shard].Add(-job.costNs)
+		job.costNs = 0
+	}
 }
 
 // forget removes a never-enqueued job from the registry.
@@ -634,7 +853,8 @@ func (s *Scheduler) reapQueued(job *Job) {
 		return
 	}
 	s.metrics.depth[job.shard].Dec()
-	s.metrics.jobsCanceled.Inc()
+	s.metrics.classDepth[classIndex(job.class)].Dec()
+	s.metrics.jobsCanceled[classIndex(job.class)].Inc()
 	job.strace.End(job.queueSpan)
 	job.endSpans()
 	job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
@@ -665,14 +885,31 @@ func (s *Scheduler) Stats() SchedulerStats {
 		SweepWorkers: s.cfg.SweepWorkers,
 		Queued:       m.queuedTotal(),
 		Running:      int(m.running.Value()),
-		Completed:    m.jobsDone.Value(),
-		Failed:       m.jobsFailed.Value(),
-		Canceled:     m.jobsCanceled.Value(),
 		Sweeps:       m.sweeps.Value(),
 		Batches:      m.batches.Value(),
 		BatchedJobs:  m.batchedJobs.Value(),
 		SoloJobs:     m.soloJobs.Value(),
 		MaxBatch:     s.maxBatch.Load(),
+		Classes:      make(map[string]ClassStats, numClasses),
+	}
+	for ci, class := range classNames {
+		cs := ClassStats{
+			Queued:   int(m.classDepth[ci].Value()),
+			Done:     m.jobsDone[ci].Value(),
+			Failed:   m.jobsFailed[ci].Value(),
+			Canceled: m.jobsCanceled[ci].Value(),
+		}
+		for ri := range shedReasonNames {
+			cs.Shed += m.shed[ci][ri].Value()
+		}
+		st.Classes[class] = cs
+		st.Completed += cs.Done
+		st.Failed += cs.Failed
+		st.Canceled += cs.Canceled
+		st.Shed += cs.Shed
+	}
+	for i := range s.pendingNs {
+		st.PendingCostSeconds += time.Duration(s.pendingNs[i].Load()).Seconds()
 	}
 	if total := st.BatchedJobs + st.SoloJobs; total > 0 {
 		st.CoalesceRate = float64(st.BatchedJobs) / float64(total)
@@ -725,6 +962,11 @@ func (s *Scheduler) worker(sh *shard) {
 // coalesce key run as one vectorized sweep; everything else runs in
 // arrival order.
 func (s *Scheduler) runBatch(batch []*Job) {
+	// Interactive jobs run before batch jobs from the same drained
+	// backlog; the stable sort preserves arrival order within a class.
+	sort.SliceStable(batch, func(i, k int) bool {
+		return classIndex(batch[i].class) < classIndex(batch[k].class)
+	})
 	if s.cfg.DisableCoalesce {
 		for _, job := range batch {
 			s.runJob(job)
@@ -761,16 +1003,20 @@ func (s *Scheduler) runBatch(batch []*Job) {
 // wait is observed only for jobs that go on to run — a canceled job's
 // time in queue is not a latency sample.
 func (s *Scheduler) dequeue(job *Job) bool {
+	ci := classIndex(job.class)
 	s.metrics.depth[job.shard].Dec()
+	s.metrics.classDepth[ci].Dec()
 	job.strace.End(job.queueSpan)
 	if job.ctx.Err() != nil {
-		s.metrics.jobsCanceled.Inc()
+		s.metrics.jobsCanceled[ci].Inc()
 		job.endSpans()
 		job.finish(JobCanceled, nil, nil, context.Cause(job.ctx))
 		s.retire(job)
 		return false
 	}
-	s.metrics.queueWait[job.shard].Observe(time.Since(job.created).Seconds())
+	wait := time.Since(job.created).Seconds()
+	s.metrics.queueWait[job.shard].Observe(wait)
+	s.metrics.classQueueWait[ci].Observe(wait)
 	return true
 }
 
@@ -836,15 +1082,16 @@ func (s *Scheduler) rewriteTimeout(ctx context.Context, err error) error {
 func (s *Scheduler) settle(job *Job, report *Report, rec *trace.Recorder, err error) {
 	dur := s.observeRun(job)
 	job.endSpans()
+	ci := classIndex(job.class)
 	switch {
 	case err == nil:
-		s.metrics.jobsDone.Inc()
+		s.metrics.jobsDone[ci].Inc()
 		job.finish(JobDone, report, rec, nil)
 		s.logger.Info("job done",
 			"job", job.id, "spec_hash", job.hash, "run_duration", dur,
 			"request_id", job.requestID)
 	case errors.Is(err, context.Canceled):
-		s.metrics.jobsCanceled.Inc()
+		s.metrics.jobsCanceled[ci].Inc()
 		job.finish(JobCanceled, nil, nil, err)
 		s.logger.Info("job canceled",
 			"job", job.id, "spec_hash", job.hash, "request_id", job.requestID)
@@ -852,7 +1099,7 @@ func (s *Scheduler) settle(job *Job, report *Report, rec *trace.Recorder, err er
 		if errors.Is(err, ErrJobTimeout) {
 			s.metrics.timeouts.Inc()
 		}
-		s.metrics.jobsFailed.Inc()
+		s.metrics.jobsFailed[ci].Inc()
 		job.finish(JobFailed, nil, nil, err)
 		s.logger.Warn("job failed",
 			"job", job.id, "spec_hash", job.hash, "error", err,
@@ -877,6 +1124,12 @@ func (s *Scheduler) observeRun(job *Job) time.Duration {
 func (s *Scheduler) execute(job *Job) {
 	ctx, cancel := s.start(job)
 	defer cancel()
+	// Test-only fault seam: an armed "sched.run" fault fails or delays
+	// the job here, after it is marked running but before any work.
+	if err := faultinject.Do(ctx, "sched.run"); err != nil {
+		s.settle(job, nil, nil, s.rewriteTimeout(ctx, err))
+		return
+	}
 	s.metrics.running.Inc()
 	if job.sweep != nil {
 		s.metrics.markDrawOrder(job.sweep.Family.DrawOrder)
@@ -942,7 +1195,7 @@ func (s *Scheduler) runSweepJob(ctx context.Context, job *Job) {
 		reports[i] = variantReport(job.variantHashes[i], &spec, res)
 	}
 	dur := s.observeRun(job)
-	s.metrics.jobsDone.Inc()
+	s.metrics.jobsDone[classIndex(job.class)].Inc()
 	job.endSpans()
 	job.finishSweep(reports)
 	s.logger.Info("sweep job done",
@@ -967,6 +1220,14 @@ func (s *Scheduler) runCoalesced(group []*Job) {
 	case 1:
 		s.metrics.soloJobs.Inc()
 		s.execute(live[0])
+		return
+	}
+	// Test-only fault seam: an armed "sched.batch" fault fails the
+	// whole assembled batch before any variant runs.
+	if err := faultinject.Do(context.Background(), "sched.batch"); err != nil {
+		for _, job := range live {
+			s.settle(job, nil, nil, err)
+		}
 		return
 	}
 	n := int64(len(live))
@@ -1071,8 +1332,10 @@ func variantReport(hash string, spec *Spec, res experiment.SweepResult) *Report 
 	}
 }
 
-// retire enforces the finished-job retention bound.
+// retire releases the job's cost reservation and enforces the
+// finished-job retention bound.
 func (s *Scheduler) retire(job *Job) {
+	s.releaseCost(job)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.doneQ = append(s.doneQ, job.id)

@@ -165,6 +165,14 @@ type Spec struct {
 	TraceEvery int `json:"trace_every,omitempty"`
 	// Topology optionally restricts sampling to a deterministic graph.
 	Topology *Topology `json:"topology,omitempty"`
+	// Priority is the request's scheduling class: "interactive"
+	// (default for /v1/simulate and /v1/jobs) or "batch" (default for
+	// sweeps). Interactive work dequeues first and is the last to be
+	// shed under brownout; batch work is shed first. Priority is a
+	// scheduling hint, not part of the simulation's identity, so it is
+	// excluded from the canonical hash — the same spec submitted at
+	// both priorities shares one cache key and one single-flight.
+	Priority string `json:"priority,omitempty"`
 	// DrawOrder selects the draw-order contract version: absent or
 	// "v1" is the frozen per-replication order (replication r seeds
 	// experiment.SeedFor(Seed, r)); "v2" is the replication-block order
@@ -285,6 +293,11 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("%w: draw_order %q (want \"v1\" or \"v2\")", ErrBadSpec, s.DrawOrder)
 	}
+	switch s.Priority {
+	case "", ClassInteractive, ClassBatch:
+	default:
+		return fmt.Errorf("%w: priority %q (want %q or %q)", ErrBadSpec, s.Priority, ClassInteractive, ClassBatch)
+	}
 	// buildCost is per-replication setup work: newGroup rebuilds the
 	// topology graph for every replication at O(edges), which for a
 	// dense (complete) graph dwarfs the O(nodes) step cost.
@@ -367,6 +380,16 @@ func (s *Spec) checkInterval() int {
 		every = byBudget
 	}
 	return int(max(every, 1))
+}
+
+// class resolves the spec's effective scheduling class: the explicit
+// Priority field, defaulting to interactive (sweeps default to batch
+// in SweepSpec).
+func (s *Spec) class() string {
+	if s.Priority == ClassBatch {
+		return ClassBatch
+	}
+	return ClassInteractive
 }
 
 // engineName is the observability name of the engine this spec
@@ -478,7 +501,12 @@ func (s *Spec) Hash() (string, error) {
 			return "", fmt.Errorf("%w: non-finite quality %v", ErrBadSpec, q)
 		}
 	}
-	b, err := json.Marshal(s)
+	// Priority is a scheduling hint: the same simulation at either
+	// class must share one cache key, so it is cleared on a shallow
+	// copy before encoding.
+	canonical := *s
+	canonical.Priority = ""
+	b, err := json.Marshal(&canonical)
 	if err != nil {
 		return "", fmt.Errorf("service: hash spec: %w", err)
 	}

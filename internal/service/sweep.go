@@ -64,6 +64,11 @@ type SweepVariant struct {
 type SweepSpec struct {
 	Family   SweepFamily    `json:"family"`
 	Variants []SweepVariant `json:"variants"`
+	// Priority is the sweep's scheduling class, defaulting to "batch"
+	// (bulk work sheds before interactive traffic under brownout).
+	// Like Spec.Priority it is a scheduling hint excluded from the
+	// canonical hash.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes explicit-default family
@@ -124,6 +129,11 @@ func (s *SweepSpec) Validate() error {
 	if len(s.Variants) > MaxSweepVariants {
 		return fmt.Errorf("%w: sweep has %d variants, limit %d", ErrBadSpec, len(s.Variants), MaxSweepVariants)
 	}
+	switch s.Priority {
+	case "", ClassInteractive, ClassBatch:
+	default:
+		return fmt.Errorf("%w: priority %q (want %q or %q)", ErrBadSpec, s.Priority, ClassInteractive, ClassBatch)
+	}
 	var total int64
 	for i := range s.Variants {
 		spec := s.variantSpec(i)
@@ -154,12 +164,23 @@ func (s *SweepSpec) Hash() (string, error) {
 			return "", fmt.Errorf("%w: non-finite quality %v", ErrBadSpec, q)
 		}
 	}
-	b, err := json.Marshal(s)
+	canonical := *s
+	canonical.Priority = ""
+	b, err := json.Marshal(&canonical)
 	if err != nil {
 		return "", fmt.Errorf("service: hash sweep: %w", err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// class resolves the sweep's effective scheduling class: the explicit
+// Priority field, defaulting to batch.
+func (s *SweepSpec) class() string {
+	if s.Priority == ClassInteractive {
+		return ClassInteractive
+	}
+	return ClassBatch
 }
 
 // variantHashes returns the single-spec cache key of every variant.

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Tiered composes a Memory front with a Disk backend: Gets read
@@ -96,6 +99,13 @@ func (t *Tiered[V]) Get(key string) (V, bool) {
 	var start time.Time
 	if t.opHook.Load() != nil {
 		start = time.Now()
+	}
+	// Test-only fault seam: an armed "store.disk.get" fault stalls the
+	// disk read (latency/stall) or degrades it to a miss (error) —
+	// exactly how a slow or failing disk presents to the read path.
+	if err := faultinject.Do(context.Background(), "store.disk.get"); err != nil {
+		var zero V
+		return zero, false
 	}
 	raw, ok := t.disk.Get(key)
 	if !ok {
